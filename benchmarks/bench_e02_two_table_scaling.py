@@ -1,0 +1,33 @@
+"""E2 benchmark — Theorem 3.3: two-table error scaling in OUT and Δ.
+
+Regenerates the measured-vs-predicted table across the OUT and Δ sweeps and
+asserts that the measured/predicted ratio stays within a constant band (the
+paper's bound is asymptotic, so the shape — not the constant — is checked).
+"""
+
+from repro.experiments.e02_two_table_scaling import run
+
+
+def test_e2_two_table_scaling(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={
+            "num_values_sweep": (4, 8, 16),
+            "degree_sweep": (2, 4, 8),
+            "num_queries": 24,
+            "trials": 2,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    ratios = [row["ratio"] for row in result["rows"]]
+    # Shape check: measured error tracks the Theorem 3.3 expression within a
+    # constant factor (no blow-up, no trivially-small values).
+    assert max(ratios) <= 6.0
+    assert min(ratios) >= 0.05
+    # The error grows with the join size along the OUT sweep.
+    out_rows = [row for row in result["rows"] if row["sweep"].startswith("OUT")]
+    assert out_rows[-1]["predicted"] > out_rows[0]["predicted"]

@@ -1,0 +1,23 @@
+"""E4 benchmark — Theorem 3.4: the Ω(Δ) error floor on the counting query."""
+
+from repro.experiments.e04_delta_floor import run
+
+
+def test_e4_delta_floor(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"degree_sweep": (1, 4, 16, 64), "num_values": 4, "trials": 4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    # The count error never drops below (a fraction of) Δ — the Ω(Δ) floor —
+    # and grows with Δ once Δ dominates the additive λ term.
+    for row in rows:
+        assert row["count_error"] >= 0.25 * row["delta_ls"]
+    assert rows[-1]["count_error"] > rows[0]["count_error"]
+    # In the large-Δ regime the error scales like Δ·λ (truncated-Laplace shift):
+    # the error/(Δ·λ) ratio stabilises within an order of magnitude of 1.
+    assert 0.1 <= rows[-1]["error_over_delta_lambda"] <= 10.0

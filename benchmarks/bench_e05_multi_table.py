@@ -1,0 +1,24 @@
+"""E5 benchmark — Theorem 1.5 / Algorithm 3: multi-table error vs residual sensitivity."""
+
+from repro.experiments.e05_multi_table import run
+
+
+def test_e5_multi_table_chain(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"scale_sweep": (0.25, 0.5, 1.0), "num_queries": 20, "trials": 2, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    # The residual sensitivity and the predicted error grow with scale, and the
+    # measured error tracks the Theorem 1.5 shape within a constant band.
+    assert rows[-1]["residual_sensitivity"] > rows[0]["residual_sensitivity"]
+    assert rows[-1]["predicted"] > rows[0]["predicted"]
+    ratios = [row["ratio"] for row in rows]
+    assert max(ratios) <= 40.0
+    assert min(ratios) >= 0.05
+    # The ratio stays within one order of magnitude across the sweep (shape holds).
+    assert max(ratios) / min(ratios) <= 12.0

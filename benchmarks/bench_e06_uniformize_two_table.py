@@ -1,0 +1,23 @@
+"""E6 benchmark — Figure 3 / Theorem 4.4: uniformized vs join-as-one two-table release."""
+
+from repro.experiments.e06_uniformize_two_table import run
+
+
+def test_e6_uniformize_figure3(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"n_sweep": (64, 144, 256), "num_queries": 24, "trials": 2, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    for row in rows:
+        # Both measured errors stay within a constant of their theoretical bounds.
+        assert row["join_as_one"] <= 6.0 * row["bound_33"]
+        assert row["uniformized"] <= 6.0 * row["bound_44"]
+    # The Theorem 3.3 bound grows faster with n than the Theorem 4.4 bound on
+    # this maximally skewed family: the ratio bound_33 / bound_44 increases.
+    ratios = [row["bound_33"] / row["bound_44"] for row in rows]
+    assert ratios[-1] > ratios[0]

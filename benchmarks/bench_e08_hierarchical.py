@@ -1,0 +1,26 @@
+"""E8 benchmark — Figure 4 / Lemma 4.10 / Theorem C.2: hierarchical uniformization."""
+
+from math import log
+
+from repro.experiments.e08_hierarchical import run
+
+
+def test_e8_hierarchical_figure4(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"domain_size": 3, "num_queries": 10, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    # Lemma 4.10: the per-tuple multiplicity is polylogarithmic in n — check a
+    # very generous polylog budget (log^5 n) rather than the raw bucket count.
+    n = max(result["input_size"], 3)
+    assert result["tuple_multiplicity"] <= max(16.0, log(n) ** 5)
+    # Theorem C.2's configuration-based residual sensitivity dominates the exact one.
+    assert result["configuration_rs"] >= result["exact_rs"] - 1e-9
+    # Both releases produce finite errors over the joint domain.
+    assert result["error_multi_table"] >= 0
+    assert result["error_uniformized"] >= 0
+    assert result["num_buckets"] >= 1

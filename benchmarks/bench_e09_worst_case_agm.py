@@ -1,0 +1,28 @@
+"""E9 benchmark — Appendix B.3: worst-case sensitivity and error via the AGM bound."""
+
+import pytest
+
+from repro.experiments.e09_worst_case_agm import run
+
+
+def test_e9_agm_worst_case(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"domain_size": 6, "tuples_per_relation": 18, "trials": 3, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = {row["query"]: row for row in result["rows"]}
+    # Closed-form exponents from the paper / AGM literature.
+    assert rows["two-table"]["rho"] == pytest.approx(2.0)
+    assert rows["triangle"]["rho"] == pytest.approx(1.5)
+    assert rows["3-chain"]["rho"] == pytest.approx(2.0)
+    assert rows["star-3"]["rho"] == pytest.approx(3.0)
+    assert rows["two-table"]["residual_exponent"] == pytest.approx(1.0)
+    assert rows["3-chain"]["residual_exponent"] == pytest.approx(2.0)
+    # Measured join sizes of 0/1 instances respect the AGM bound.
+    for row in result["rows"]:
+        assert row["measured_out"] <= row["agm_bound"] + 1e-9
+        assert row["measured_rs"] <= row["agm_bound"] + 1e-9

@@ -1,0 +1,29 @@
+"""E10 benchmark — Theorem 4.5: conforming instances and the per-bucket bound."""
+
+from repro.experiments.e10_conforming import run
+
+
+def test_e10_conforming_instances(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={
+            "out_vectors": ({1: 200}, {1: 100, 2: 200}, {1: 50, 2: 100, 3: 400}),
+            "num_queries": 20,
+            "trials": 2,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    for row in rows:
+        # The parameterised lower bound never exceeds the matching upper bound,
+        # and the measured error of Algorithm 4 respects both (up to constants).
+        assert row["lower_bound"] <= row["upper_bound"]
+        assert row["measured"] <= 6.0 * row["upper_bound"]
+        assert row["measured"] >= 0.1 * row["lower_bound"]
+    # Adding heavier buckets increases both bounds (the max over buckets grows).
+    lower_bounds = [row["lower_bound"] for row in rows]
+    assert lower_bounds[-1] >= lower_bounds[0]

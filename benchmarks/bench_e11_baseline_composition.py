@@ -1,0 +1,31 @@
+"""E11 benchmark — Section 1.2: one synthetic release vs per-query Laplace composition."""
+
+from repro.experiments.e11_baseline_composition import run
+
+
+def test_e11_composition_baseline(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={
+            "workload_sizes": (8, 64, 256),
+            "num_join_values": 12,
+            "tuples_per_relation": 120,
+            "trials": 2,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    # The per-query Laplace error grows (roughly linearly) with |Q| while the
+    # synthetic-data error stays flat, so the ratio grows monotonically and the
+    # synthetic release wins decisively for large workloads.
+    ratios = [row["ratio"] for row in rows]
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 4.0
+    laplace_errors = [row["laplace_error"] for row in rows]
+    assert laplace_errors[-1] > 4.0 * laplace_errors[0]
+    synthetic_errors = [row["synthetic_error"] for row in rows]
+    assert max(synthetic_errors) <= 4.0 * min(synthetic_errors)

@@ -1,0 +1,28 @@
+"""E12 benchmark — end-to-end TPC-H-style workloads (two- and three-table joins)."""
+
+from repro.experiments.e12_tpch import run
+
+
+def test_e12_tpch_workloads(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"scale_sweep": (0.5, 1.0, 2.0), "num_predicate_queries": 16, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    assert len(rows) == 6  # two joins per scale factor
+    two_table_rows = [row for row in rows if row["join"] == "customer-orders"]
+    chain_rows = [row for row in rows if row["join"] == "nation-customer-orders"]
+    # Join sizes scale with the generator's scale factor.
+    assert two_table_rows[-1]["join_size"] > two_table_rows[0]["join_size"]
+    # The DP error grows sublinearly in the data size, so the *relative* error
+    # improves (or at least does not degrade) as the tables grow.
+    assert two_table_rows[-1]["relative_error"] <= two_table_rows[0]["relative_error"] * 1.5
+    # The three-table chain pays a higher sensitivity price than the two-table join.
+    for chain_row, two_row in zip(chain_rows, two_table_rows):
+        assert chain_row["error"] >= two_row["error"]
+    # Everything completes quickly (seconds, not minutes) at these scales.
+    assert all(row["runtime"] < 30.0 for row in rows)

@@ -1,0 +1,23 @@
+"""E13 benchmark — Theorem 1.3: single-table PMW error vs √n·f_upper."""
+
+from repro.experiments.e13_single_table_pmw import run
+
+
+def test_e13_single_table_pmw(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"n_sweep": (50, 200, 800), "num_queries": 32, "trials": 2, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    rows = result["rows"]
+    # The measured error tracks √n·f_upper within a small constant band.
+    for row in rows:
+        assert 0.1 <= row["ratio"] <= 4.0
+    # The error grows with n but sublinearly (the √n shape).
+    assert rows[-1]["measured"] > rows[0]["measured"]
+    growth = rows[-1]["measured"] / max(rows[0]["measured"], 1e-9)
+    n_growth = rows[-1]["n"] / rows[0]["n"]
+    assert growth < n_growth  # sublinear in n

@@ -1,0 +1,17 @@
+"""E14 benchmark — empirical privacy audit of Algorithm 1 (Lemma 3.2)."""
+
+from repro.experiments.e14_privacy_audit import run
+
+
+def test_e14_privacy_audit(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"num_values": 4, "degree": 3, "trials": 60, "num_bins": 8, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+    # The empirical privacy-loss estimate stays in the vicinity of the declared
+    # ε (the histogram estimator over-estimates, so allow a small constant).
+    assert result["empirical_epsilon"] <= 3.0 * result["declared_epsilon"] + 0.5

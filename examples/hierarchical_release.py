@@ -1,0 +1,76 @@
+"""Hierarchical uniformization on the paper's Figure 4 query.
+
+Run with::
+
+    python examples/hierarchical_release.py
+
+Builds a skewed instance of the five-relation hierarchical query of Figure 4,
+inspects the partition produced by Algorithms 6–7 (degree configurations,
+per-tuple multiplicity of Lemma 4.10), and compares the hierarchical
+uniformized release (Algorithm 4) against the plain residual-sensitivity
+release (Algorithm 3).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro import Workload, WorkloadEvaluator, join_size, local_sensitivity
+from repro.core.hierarchical import partition_hierarchical
+from repro.core.multi_table import default_beta, multi_table_release
+from repro.core.uniformize import uniformize_release
+from repro.experiments.e08_hierarchical import figure4_skewed_instance
+from repro.sensitivity.configurations import configuration_of_instance
+from repro.sensitivity.residual import residual_sensitivity
+
+EPSILON = 1.0
+DELTA = 1e-2
+
+
+def main() -> None:
+    instance = figure4_skewed_instance(domain_size=3, heavy_fanout=30, light_tuples=8, seed=0)
+    query = instance.query
+    print(f"query is hierarchical: {query.is_hierarchical()}")
+    tree = query.attribute_tree()
+    print("attribute tree (child <- parent):")
+    for name in query.attribute_names:
+        print(f"  {name} <- {tree.parent[name]}")
+    print(f"n = {instance.total_size()}, OUT = {join_size(instance)}, Δ = {local_sensitivity(instance)}")
+
+    beta = default_beta(EPSILON, DELTA)
+    print(f"residual sensitivity RS^β (β = {beta:.3f}): "
+          f"{residual_sensitivity(instance, beta):.1f}")
+    configuration = configuration_of_instance(instance, lam=1.0 / beta)
+    print(f"degree configuration under the uniform partition: {configuration}")
+
+    partition = partition_hierarchical(instance, EPSILON / 2, DELTA / 2, seed=1)
+    print(f"\nhierarchical partition: {partition.num_buckets} sub-instance(s)")
+    for bucket in partition.buckets:
+        sizes = bucket.sub_instance.relation_sizes()
+        print(f"  configuration {bucket.configuration} -> sizes {sizes}")
+    print(f"per-tuple multiplicity (Lemma 4.10): {partition.tuple_multiplicity(instance)}")
+
+    workload = Workload.random_sign(query, 16, seed=2)
+    evaluator = WorkloadEvaluator(workload)
+    exact = evaluator.answers_on_instance(instance)
+
+    plain = multi_table_release(instance, workload, EPSILON, DELTA, seed=3, evaluator=evaluator)
+    uniform = uniformize_release(
+        instance, workload, EPSILON, DELTA, method="hierarchical", seed=3, evaluator=evaluator
+    )
+    error_plain = float(np.max(np.abs(evaluator.answers_on_histogram(plain.synthetic.histogram) - exact)))
+    error_uniform = float(np.max(np.abs(evaluator.answers_on_histogram(uniform.synthetic.histogram) - exact)))
+
+    print(f"\nAlgorithm 3 (MultiTable) ℓ∞ error:        {error_plain:.1f}  [{plain.privacy}]")
+    print(f"Algorithm 4 (hierarchical Uniformize) ℓ∞: {error_uniform:.1f}  [{uniform.privacy}]")
+    print(
+        "\nNote: the hierarchical uniformization pays a group-privacy factor for the\n"
+        "tuple multiplicity (Lemma 4.11); its reported privacy spec above reflects that."
+    )
+
+
+if __name__ == "__main__":
+    main()

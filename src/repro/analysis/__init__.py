@@ -1,0 +1,29 @@
+"""Closed-form error bounds, the AGM bound, and experiment reporting helpers."""
+
+from repro.analysis.bounds import (
+    f_lower,
+    f_upper,
+    lam,
+    theorem_15_error,
+    theorem_33_error,
+    theorem_35_lower_bound,
+    theorem_44_error,
+    theorem_45_lower_bound,
+)
+from repro.analysis.agm import agm_bound, fractional_edge_cover_number, worst_case_error_bound
+from repro.analysis.reporting import ExperimentTable
+
+__all__ = [
+    "ExperimentTable",
+    "agm_bound",
+    "f_lower",
+    "f_upper",
+    "fractional_edge_cover_number",
+    "lam",
+    "theorem_15_error",
+    "theorem_33_error",
+    "theorem_35_lower_bound",
+    "theorem_44_error",
+    "theorem_45_lower_bound",
+    "worst_case_error_bound",
+]

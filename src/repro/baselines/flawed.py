@@ -1,0 +1,144 @@
+"""The "natural but flawed" join-as-one variants of Section 3.1.
+
+Both variants are **not differentially private**; they exist so the E1
+benchmark can reproduce the distinguishing attack of Example 3.1 against them
+and verify that Algorithm 1 does not exhibit the same leak.
+
+* :func:`flawed_exact_count_release` — run the single-table PMW on the join
+  result directly.  The released dataset's total mass tracks ``count(I)``
+  exactly, and neighbouring instances can have join sizes ``n`` versus ``0``
+  (Figure 1), so an adversary distinguishes them from the total mass alone.
+* :func:`flawed_padded_release` — additionally pad the release with ``η``
+  uniform dummy tuples, ``η`` drawn from a truncated Laplace calibrated to a
+  noisy sensitivity bound.  The total mass is now protected, but Example 3.1
+  shows the *localisation* of the mass still leaks: under ``I`` nearly all
+  mass sits inside the small region ``D'``, while under the neighbour ``I'``
+  the dummy mass almost never lands there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.core.result import ReleaseResult
+from repro.core.synthetic import SyntheticDataset
+from repro.mechanisms.rng import resolve_rng
+from repro.mechanisms.spec import PrivacySpec
+from repro.mechanisms.truncated_laplace import (
+    sample_truncated_laplace,
+    truncated_laplace_mechanism,
+    truncation_radius,
+)
+from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.workload import Workload
+from repro.relational.instance import Instance
+from repro.relational.join import join_size
+from repro.sensitivity.local import local_sensitivity
+
+
+def flawed_exact_count_release(
+    instance: Instance,
+    workload: Workload,
+    epsilon: float,
+    delta: float,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    evaluator: WorkloadEvaluator | None = None,
+    pmw_config: PMWConfig | None = None,
+) -> ReleaseResult:
+    """Flawed variant 1: PMW on the join with the *exact* join size (NOT DP)."""
+    generator = resolve_rng(rng, seed)
+    config = pmw_config or PMWConfig()
+    config = PMWConfig(
+        num_iterations=config.num_iterations,
+        min_iterations=config.min_iterations,
+        max_iterations=config.max_iterations,
+        update_clip=config.update_clip,
+        force_total=float(join_size(instance)),
+    )
+    pmw = private_multiplicative_weights(
+        instance,
+        workload,
+        epsilon,
+        delta,
+        1.0,
+        rng=generator,
+        evaluator=evaluator,
+        config=config,
+    )
+    privacy = PrivacySpec(epsilon, delta)
+    synthetic = SyntheticDataset(
+        join_query=workload.join_query,
+        histogram=pmw.histogram,
+        privacy=privacy,
+        metadata={"algorithm": "flawed_exact_count", "warning": "NOT differentially private"},
+    )
+    return ReleaseResult(
+        synthetic=synthetic,
+        privacy=privacy,
+        algorithm="flawed_exact_count",
+        diagnostics={"noisy_total": pmw.noisy_total, "iterations": pmw.iterations},
+    )
+
+
+def flawed_padded_release(
+    instance: Instance,
+    workload: Workload,
+    epsilon: float,
+    delta: float,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    evaluator: WorkloadEvaluator | None = None,
+    pmw_config: PMWConfig | None = None,
+) -> ReleaseResult:
+    """Flawed variant 2: exact-count PMW plus uniform dummy padding (NOT DP).
+
+    Steps (1)–(4) of the second flawed idea in Section 3.1: the padding count
+    ``η`` is drawn from a truncated Laplace calibrated to the noisy local
+    sensitivity, and the padded mass is spread uniformly over the joint
+    domain (the continuous analogue of sampling η random records).
+    """
+    generator = resolve_rng(rng, seed)
+    query = workload.join_query
+
+    base = flawed_exact_count_release(
+        instance,
+        workload,
+        epsilon / 2.0,
+        delta / 2.0,
+        rng=generator,
+        evaluator=evaluator,
+        pmw_config=pmw_config,
+    )
+
+    delta_true = local_sensitivity(instance)
+    delta_tilde = truncated_laplace_mechanism(
+        float(delta_true), 1.0, epsilon / 4.0, delta / 4.0, rng=generator
+    )
+    delta_tilde = max(delta_tilde, 1.0)
+    radius = truncation_radius(epsilon / 4.0, delta / 4.0, delta_tilde)
+    eta = float(
+        sample_truncated_laplace(4.0 * delta_tilde / epsilon, radius, rng=generator)
+    )
+    padding = np.full(query.shape, eta / query.joint_domain_size, dtype=float)
+
+    privacy = PrivacySpec(epsilon, delta)
+    synthetic = SyntheticDataset(
+        join_query=query,
+        histogram=base.synthetic.histogram + padding,
+        privacy=privacy,
+        metadata={"algorithm": "flawed_padded", "warning": "NOT differentially private"},
+    )
+    return ReleaseResult(
+        synthetic=synthetic,
+        privacy=privacy,
+        algorithm="flawed_padded",
+        diagnostics={
+            "eta": eta,
+            "delta_tilde": delta_tilde,
+            "base_total": base.synthetic.total_mass(),
+        },
+    )

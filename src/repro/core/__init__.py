@@ -1,0 +1,37 @@
+"""Core release algorithms of the paper.
+
+* :mod:`repro.core.pmw` — Algorithm 2, the single-table private multiplicative
+  weights routine parameterised by a noisy sensitivity bound;
+* :mod:`repro.core.two_table` — Algorithm 1 (``TwoTable``);
+* :mod:`repro.core.multi_table` — Algorithm 3 (``MultiTable`` with residual
+  sensitivity);
+* :mod:`repro.core.partition_two_table` — Algorithm 5 (degree-bucket partition);
+* :mod:`repro.core.hierarchical` — Algorithms 6 and 7 (hierarchical partition);
+* :mod:`repro.core.uniformize` — Algorithm 4 (uniformized release);
+* :mod:`repro.core.release` — the public one-call entry point;
+* :mod:`repro.core.synthetic` — the released synthetic-dataset object.
+"""
+
+from repro.core.synthetic import SyntheticDataset
+from repro.core.result import ReleaseResult
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.core.two_table import two_table_release
+from repro.core.multi_table import multi_table_release
+from repro.core.partition_two_table import partition_two_table
+from repro.core.hierarchical import decompose_by_attribute, partition_hierarchical
+from repro.core.uniformize import uniformize_release
+from repro.core.release import release_synthetic_data
+
+__all__ = [
+    "PMWConfig",
+    "ReleaseResult",
+    "SyntheticDataset",
+    "decompose_by_attribute",
+    "multi_table_release",
+    "partition_hierarchical",
+    "partition_two_table",
+    "private_multiplicative_weights",
+    "release_synthetic_data",
+    "two_table_release",
+    "uniformize_release",
+]

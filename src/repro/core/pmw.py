@@ -1,0 +1,216 @@
+"""Algorithm 2: the private multiplicative weights routine ``PMW_{ε, δ, Δ̃}``.
+
+This is the single-table PMW/MWEM algorithm of Hardt–Ligett–McSherry,
+parameterised — as in the paper — by an externally supplied sensitivity bound
+``Δ̃`` (the noisy local/residual sensitivity handed in by Algorithms 1 and 3):
+
+1. the total count is released once with truncated Laplace noise of
+   sensitivity ``Δ̃`` (budget ε/2, δ/2);
+2. the remaining budget drives ``k`` adaptive rounds, each selecting the
+   currently worst-approximated workload query with the exponential mechanism
+   and measuring it with Laplace noise of scale ``Δ̃/ε'``;
+3. each measurement multiplicatively re-weights the joint-domain histogram,
+   and the released synthetic dataset is the average of the iterates.
+
+The iteration count defaults to the appendix optimum
+``k* = n̂·ε·√(log |D|) / (Δ̃·log |Q|·√(log 1/δ))`` clamped to a configurable
+range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log, sqrt
+
+import numpy as np
+
+from repro.mechanisms.exponential import exponential_mechanism
+from repro.mechanisms.laplace import sample_laplace
+from repro.mechanisms.rng import resolve_rng
+from repro.mechanisms.spec import PrivacySpec
+from repro.mechanisms.truncated_laplace import sample_truncated_laplace, truncation_radius
+from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.workload import Workload
+from repro.relational.instance import Instance
+from repro.relational.join import join_size
+
+
+@dataclass(frozen=True)
+class PMWConfig:
+    """Tuning knobs for the PMW routine.
+
+    Attributes
+    ----------
+    num_iterations:
+        Fixed iteration count; ``None`` selects the appendix optimum.
+    min_iterations / max_iterations:
+        Clamp for the automatically chosen iteration count.
+    update_clip:
+        The multiplicative-weights exponent is clipped to ``[-clip, +clip]``
+        (the analysis assumes the exponent magnitude is at most one).
+    force_total:
+        **Not differentially private.**  Overrides the noisy total count n̂
+        with the given value; used only by the flawed-baseline reproductions
+        of Section 3.1 (Example 3.1) to demonstrate why releasing the exact
+        join size breaks DP.
+    """
+
+    num_iterations: int | None = None
+    min_iterations: int = 1
+    max_iterations: int = 60
+    update_clip: float = 1.0
+    force_total: float | None = None
+
+
+@dataclass
+class PMWResult:
+    """Raw output of one PMW run (before being wrapped in a ReleaseResult)."""
+
+    histogram: np.ndarray
+    noisy_total: float
+    sensitivity_bound: float
+    iterations: int
+    epsilon_per_round: float
+    selected_queries: list[int] = field(default_factory=list)
+    privacy: PrivacySpec | None = None
+
+
+def _auto_iterations(
+    noisy_total: float,
+    epsilon: float,
+    delta: float,
+    sensitivity_bound: float,
+    domain_size: int,
+    num_queries: int,
+    config: PMWConfig,
+) -> int:
+    """The appendix-optimal iteration count, clamped to the configured range."""
+    if config.num_iterations is not None:
+        return max(1, config.num_iterations)
+    log_domain = max(log(max(domain_size, 2)), 1.0)
+    log_queries = max(log(max(num_queries, 2)), 1.0)
+    log_delta = max(log(1.0 / delta), 1.0)
+    optimum = (
+        noisy_total
+        * epsilon
+        * sqrt(log_domain)
+        / (max(sensitivity_bound, 1.0) * log_queries * sqrt(log_delta))
+    )
+    iterations = int(ceil(optimum)) if optimum > 0 else config.min_iterations
+    return int(min(max(iterations, config.min_iterations), config.max_iterations))
+
+
+def private_multiplicative_weights(
+    instance: Instance,
+    workload: Workload,
+    epsilon: float,
+    delta: float,
+    sensitivity_bound: float,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    evaluator: WorkloadEvaluator | None = None,
+    config: PMWConfig | None = None,
+) -> PMWResult:
+    """Run ``PMW_{ε, δ, Δ̃}`` on an instance and return the averaged histogram.
+
+    Parameters
+    ----------
+    instance:
+        The multi-table instance; only its exact query answers and join size
+        are consumed (the join itself is never materialised).
+    workload:
+        The query family ``Q`` the synthetic data should answer well.
+    epsilon, delta:
+        Overall budget of this PMW invocation (the caller is responsible for
+        the budget spent on estimating ``sensitivity_bound``).
+    sensitivity_bound:
+        The noisy sensitivity bound ``Δ̃`` — must upper bound the change of any
+        workload answer between neighbouring instances.
+    evaluator:
+        Optional pre-built :class:`WorkloadEvaluator`; supply one when running
+        PMW repeatedly over the same workload (the uniformized algorithms do).
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if sensitivity_bound <= 0:
+        raise ValueError(f"sensitivity bound must be positive, got {sensitivity_bound}")
+    config = config or PMWConfig()
+    generator = resolve_rng(rng, seed)
+    if evaluator is None:
+        evaluator = WorkloadEvaluator(workload)
+
+    join_query = workload.join_query
+    domain_size = join_query.joint_domain_size
+
+    # Step 1: release the total count with one-sided truncated Laplace noise.
+    true_total = join_size(instance)
+    if config.force_total is not None:
+        noisy_total = float(config.force_total)
+    else:
+        radius = truncation_radius(epsilon / 2.0, delta / 2.0, sensitivity_bound)
+        noise = sample_truncated_laplace(
+            2.0 * sensitivity_bound / epsilon, radius, rng=generator
+        )
+        noisy_total = float(true_total) + float(noise)
+
+    if noisy_total <= 0:
+        histogram = np.zeros(join_query.shape, dtype=float)
+        return PMWResult(
+            histogram=histogram,
+            noisy_total=noisy_total,
+            sensitivity_bound=sensitivity_bound,
+            iterations=0,
+            epsilon_per_round=0.0,
+            privacy=PrivacySpec(epsilon, delta),
+        )
+
+    iterations = _auto_iterations(
+        noisy_total,
+        epsilon,
+        delta,
+        sensitivity_bound,
+        domain_size,
+        len(workload),
+        config,
+    )
+    epsilon_per_round = epsilon / (16.0 * sqrt(iterations * max(log(1.0 / delta), 1.0)))
+
+    # Step 2: multiplicative weights over the joint domain.
+    true_answers = evaluator.answers_on_instance(instance)
+    current = np.full(domain_size, noisy_total / domain_size, dtype=float)
+    average = np.zeros(domain_size, dtype=float)
+    selected: list[int] = []
+
+    for _round in range(iterations):
+        current_answers = evaluator.answers_on_histogram(current)
+        scores = np.abs(current_answers - true_answers) / sensitivity_bound
+        query_index = exponential_mechanism(scores, epsilon_per_round, 1.0, rng=generator)
+        selected.append(query_index)
+
+        measurement = float(true_answers[query_index]) + sample_laplace(
+            sensitivity_bound / epsilon_per_round, rng=generator
+        )
+        query_values = evaluator.query_values(query_index)
+        step = (measurement - float(current_answers[query_index])) / (2.0 * noisy_total)
+        exponent = np.clip(query_values * step, -config.update_clip, config.update_clip)
+        current = current * np.exp(exponent)
+        total = current.sum()
+        if total <= 0:
+            current = np.full(domain_size, noisy_total / domain_size, dtype=float)
+        else:
+            current *= noisy_total / total
+        average += current
+
+    histogram = (average / iterations).reshape(join_query.shape)
+    return PMWResult(
+        histogram=histogram,
+        noisy_total=noisy_total,
+        sensitivity_bound=sensitivity_bound,
+        iterations=iterations,
+        epsilon_per_round=epsilon_per_round,
+        selected_queries=selected,
+        privacy=PrivacySpec(epsilon, delta),
+    )

@@ -1,0 +1,175 @@
+"""The public one-call entry point for synthetic data release.
+
+``release_synthetic_data`` dispatches to the appropriate algorithm of the
+paper based on the join query shape (or an explicit ``method``):
+
+* one relation        → the single-table PMW of Theorem 1.3;
+* two relations       → Algorithm 1 (``TwoTable``), or its uniformized variant;
+* hierarchical joins  → Algorithm 3 (``MultiTable``), or Algorithm 4 with the
+  hierarchical partition;
+* general joins       → Algorithm 3 (``MultiTable``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multi_table import multi_table_release
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.core.result import ReleaseResult
+from repro.core.synthetic import SyntheticDataset
+from repro.core.two_table import two_table_release
+from repro.core.uniformize import uniformize_release
+from repro.mechanisms.rng import resolve_rng
+from repro.mechanisms.spec import PrivacySpec
+from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.workload import Workload
+from repro.relational.instance import Instance
+
+_METHODS = (
+    "auto",
+    "single_table",
+    "two_table",
+    "multi_table",
+    "uniformize",
+    "uniformize_two_table",
+    "uniformize_hierarchical",
+)
+
+
+def _single_table_release(
+    instance: Instance,
+    workload: Workload,
+    epsilon: float,
+    delta: float,
+    *,
+    rng: np.random.Generator | None,
+    evaluator: WorkloadEvaluator | None,
+    pmw_config: PMWConfig | None,
+) -> ReleaseResult:
+    """Theorem 1.3: the single-table case has sensitivity one."""
+    pmw = private_multiplicative_weights(
+        instance,
+        workload,
+        epsilon,
+        delta,
+        1.0,
+        rng=rng,
+        evaluator=evaluator,
+        config=pmw_config,
+    )
+    privacy = PrivacySpec(epsilon, delta)
+    synthetic = SyntheticDataset(
+        join_query=workload.join_query,
+        histogram=pmw.histogram,
+        privacy=privacy,
+        metadata={"algorithm": "single_table"},
+    )
+    return ReleaseResult(
+        synthetic=synthetic,
+        privacy=privacy,
+        algorithm="single_table",
+        diagnostics={
+            "noisy_total": pmw.noisy_total,
+            "iterations": pmw.iterations,
+            "epsilon_per_round": pmw.epsilon_per_round,
+        },
+    )
+
+
+def release_synthetic_data(
+    instance: Instance,
+    workload: Workload,
+    epsilon: float,
+    delta: float,
+    *,
+    method: str = "auto",
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    evaluator: WorkloadEvaluator | None = None,
+    pmw_config: PMWConfig | None = None,
+) -> ReleaseResult:
+    """Release a DP synthetic dataset for answering the workload's linear queries.
+
+    Parameters
+    ----------
+    instance:
+        The private multi-table database.
+    workload:
+        The family ``Q`` of linear queries the synthetic data should answer.
+    epsilon, delta:
+        The target differential-privacy budget.
+    method:
+        One of ``auto``, ``single_table``, ``two_table``, ``multi_table``,
+        ``uniformize`` (auto-picks the partition), ``uniformize_two_table``,
+        ``uniformize_hierarchical``.  ``auto`` chooses the plain join-as-one
+        algorithm matching the query shape.
+    rng, seed:
+        Source of randomness (mutually exclusive).
+
+    Returns
+    -------
+    ReleaseResult
+        The synthetic dataset, the (possibly blown-up) privacy guarantee, and
+        the algorithm diagnostics.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+    generator = resolve_rng(rng, seed)
+    query = instance.query
+
+    if method == "auto":
+        if query.num_relations == 1:
+            method = "single_table"
+        elif query.num_relations == 2:
+            method = "two_table"
+        else:
+            method = "multi_table"
+
+    if method == "single_table":
+        if query.num_relations != 1:
+            raise ValueError("single_table method requires a one-relation query")
+        return _single_table_release(
+            instance,
+            workload,
+            epsilon,
+            delta,
+            rng=generator,
+            evaluator=evaluator,
+            pmw_config=pmw_config,
+        )
+    if method == "two_table":
+        return two_table_release(
+            instance,
+            workload,
+            epsilon,
+            delta,
+            rng=generator,
+            evaluator=evaluator,
+            pmw_config=pmw_config,
+        )
+    if method == "multi_table":
+        return multi_table_release(
+            instance,
+            workload,
+            epsilon,
+            delta,
+            rng=generator,
+            evaluator=evaluator,
+            pmw_config=pmw_config,
+        )
+    partition_method = {
+        "uniformize": "auto",
+        "uniformize_two_table": "two_table",
+        "uniformize_hierarchical": "hierarchical",
+    }[method]
+    return uniformize_release(
+        instance,
+        workload,
+        epsilon,
+        delta,
+        method=partition_method,
+        rng=generator,
+        evaluator=evaluator,
+        pmw_config=pmw_config,
+    )

@@ -1,0 +1,120 @@
+"""The released synthetic dataset ``F``.
+
+``F`` is a non-negative function over the joint domain ``D = dom(x)``; linear
+queries are answered against it exactly as against a real join result.  The
+histogram is fractional (the PMW average of distributions); an integral
+synthetic *table* can be obtained with :meth:`SyntheticDataset.round` when a
+downstream consumer needs concrete rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.mechanisms.spec import PrivacySpec
+from repro.queries.linear import ProductQuery
+from repro.queries.workload import Workload
+from repro.relational.hypergraph import JoinQuery
+
+
+@dataclass
+class SyntheticDataset:
+    """A synthetic joint-domain frequency function released under DP.
+
+    Attributes
+    ----------
+    join_query:
+        The join query whose joint domain the histogram lives on.
+    histogram:
+        Non-negative array with one axis per query attribute.
+    privacy:
+        The (ε, δ) guarantee under which the histogram was produced.
+    metadata:
+        Free-form diagnostics recorded by the producing algorithm.
+    """
+
+    join_query: JoinQuery
+    histogram: np.ndarray
+    privacy: PrivacySpec
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        histogram = np.asarray(self.histogram, dtype=float)
+        if histogram.shape != self.join_query.shape:
+            raise ValueError(
+                f"histogram shape {histogram.shape} does not match joint domain shape "
+                f"{self.join_query.shape}"
+            )
+        if np.any(histogram < -1e-9):
+            raise ValueError("synthetic histogram must be non-negative")
+        self.histogram = np.clip(histogram, 0.0, None)
+
+    # ------------------------------------------------------------------ #
+    # query answering
+    # ------------------------------------------------------------------ #
+    def total_mass(self) -> float:
+        """The released total count (the noisy join size the PMW run targeted)."""
+        return float(self.histogram.sum())
+
+    def answer(self, query: ProductQuery) -> float:
+        """Answer one linear query from the synthetic data."""
+        return query.evaluate_on_histogram(self.histogram)
+
+    def answer_workload(self, workload: Workload) -> np.ndarray:
+        """Answer every query of a workload from the synthetic data."""
+        return np.array([self.answer(query) for query in workload], dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # combination and post-processing (all privacy-free)
+    # ------------------------------------------------------------------ #
+    def union(self, other: "SyntheticDataset", privacy: PrivacySpec | None = None) -> "SyntheticDataset":
+        """Union of synthetic datasets: histograms add (Algorithm 4's final step).
+
+        The privacy spec of the union must be supplied by the caller when the
+        component specs do not compose trivially; by default the worst
+        component spec is carried over (parallel composition on disjoint
+        sub-instances).
+        """
+        if self.join_query.attribute_names != other.join_query.attribute_names:
+            raise ValueError("cannot union synthetic data over different joint domains")
+        if privacy is None:
+            privacy = PrivacySpec(
+                max(self.privacy.epsilon, other.privacy.epsilon),
+                max(self.privacy.delta, other.privacy.delta),
+            )
+        return SyntheticDataset(
+            join_query=self.join_query,
+            histogram=self.histogram + other.histogram,
+            privacy=privacy,
+            metadata={"components": [self.metadata, other.metadata]},
+        )
+
+    def round(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Randomised rounding of the histogram to integer multiplicities.
+
+        Post-processing only; the result is an integer array over the joint
+        domain whose expectation equals the fractional histogram.
+        """
+        generator = rng if rng is not None else np.random.default_rng()
+        floor = np.floor(self.histogram)
+        remainder = self.histogram - floor
+        return (floor + (generator.uniform(size=self.histogram.shape) < remainder)).astype(np.int64)
+
+    def to_tuples(self, *, threshold: float = 0.5) -> Iterator[tuple[tuple, float]]:
+        """Yield ``(joint value tuple, mass)`` for cells with mass above threshold."""
+        for flat_index in np.flatnonzero(self.histogram > threshold):
+            index = np.unravel_index(flat_index, self.histogram.shape)
+            values = tuple(
+                attribute.domain.value_at(i)
+                for attribute, i in zip(self.join_query.attributes, index)
+            )
+            yield values, float(self.histogram[index])
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticDataset(total={self.total_mass():.1f}, cells={self.histogram.size}, "
+            f"privacy={self.privacy})"
+        )

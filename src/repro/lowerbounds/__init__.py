@@ -1,0 +1,25 @@
+"""Hard-instance constructions from the paper's lower-bound proofs.
+
+These builders turn an arbitrary single table into the multi-table instances
+used by the reductions of Theorems 3.5, 1.6, and 4.5, so the benchmarks can
+measure how the released error scales against the parameterised lower bounds
+``min(OUT, √(OUT·Δ)·f_lower)``.
+"""
+
+from repro.lowerbounds.single_table_hard import hard_single_table
+from repro.lowerbounds.two_table_hard import (
+    TwoTableHardInstance,
+    recover_single_table_answers,
+    two_table_hard_instance,
+)
+from repro.lowerbounds.multi_table_hard import multi_table_hard_instance
+from repro.lowerbounds.conforming import conforming_two_table_instance
+
+__all__ = [
+    "TwoTableHardInstance",
+    "conforming_two_table_instance",
+    "hard_single_table",
+    "multi_table_hard_instance",
+    "recover_single_table_answers",
+    "two_table_hard_instance",
+]

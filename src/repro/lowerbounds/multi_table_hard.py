@@ -1,0 +1,154 @@
+"""The multi-table hard instance of Theorem 1.6.
+
+The two-table reduction generalises to any join query ``H``: the relation
+with the fewest attributes encodes the single table on a "diagonal" (all of
+its attributes carry the same ``(value, copy)`` pair), and every other
+relation is an all-one relation over small domains whose product amplifies
+both the join size and the local sensitivity by a factor ``Δ``.
+
+Note on the realised local sensitivity: the reduction guarantees
+``LS_count(I) ≥ Δ`` and join size exactly ``n·Δ``, which is all the error
+argument (``q'(I) = Δ·q(T)``) needs.  For query shapes where an all-one
+relation shares an attribute only with other all-one relations (e.g. the last
+relation of a chain with ≥ 3 tables), touching one of its tuples can create up
+to ``n`` join results, so the realised ``LS`` is ``max(Δ, n)`` rather than
+exactly ``Δ``; the two-table instantiation of Theorem 3.5 has ``LS = Δ``
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from repro.lowerbounds.single_table_hard import HardSingleTable
+from repro.queries.linear import ProductQuery, TableQuery, all_one_query
+from repro.queries.workload import Workload
+from repro.relational.hypergraph import JoinQuery
+from repro.relational.instance import Instance
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Domain, RelationSchema
+
+
+@dataclass
+class MultiTableHardInstance:
+    """The lifted multi-table instance plus reduction metadata."""
+
+    instance: Instance
+    workload: Workload
+    source: HardSingleTable
+    delta: int
+    encoding_relation: str
+    include_counting: bool
+
+    @property
+    def join_size(self) -> int:
+        return self.source.n * self.delta
+
+    def lifted_true_answers(self) -> np.ndarray:
+        answers = self.delta * self.source.true_answers()
+        if self.include_counting:
+            return np.concatenate(([float(self.join_size)], answers))
+        return answers
+
+
+def multi_table_hard_instance(
+    template: JoinQuery,
+    source: HardSingleTable,
+    delta: int,
+    *,
+    include_counting: bool = True,
+) -> MultiTableHardInstance:
+    """Lift a hard single table into a hard instance of the template query shape.
+
+    ``template`` only provides the hypergraph structure (which relations share
+    which attributes); fresh domains are constructed as in the proof of
+    Theorem 1.6.  ``delta`` is rounded to the nearest realisable value
+    ``d^k`` where ``k`` is the number of attributes outside the encoding
+    relation and ``d = ⌈delta^{1/k}⌉``.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if template.num_relations < 2:
+        raise ValueError("the reduction needs at least two relations")
+    counts = source.counts
+    domain_size = source.domain_size
+    n = max(source.n, 1)
+
+    # Pick the relation with the fewest attributes to encode the table.
+    encoding_index = min(
+        range(template.num_relations),
+        key=lambda index: len(template.relations[index].attribute_names),
+    )
+    encoding_schema = template.relations[encoding_index]
+    encoding_attrs = set(encoding_schema.attribute_names)
+    outside_attrs = [
+        name for name in template.attribute_names if name not in encoding_attrs
+    ]
+    if not outside_attrs:
+        raise ValueError("the encoding relation already covers every attribute")
+    per_attribute = int(ceil(delta ** (1.0 / len(outside_attrs))))
+    per_attribute = max(per_attribute, 1)
+    realized_delta = per_attribute ** len(outside_attrs)
+
+    pair_domain = Domain([(i, j) for i in range(domain_size) for j in range(n)])
+    attributes: list[Attribute] = []
+    for name in template.attribute_names:
+        if name in encoding_attrs:
+            attributes.append(Attribute(name, pair_domain))
+        else:
+            attributes.append(Attribute(name, Domain.integers(per_attribute)))
+    by_name = {attribute.name: attribute for attribute in attributes}
+    schemas = tuple(
+        RelationSchema(schema.name, tuple(by_name[name] for name in schema.attribute_names))
+        for schema in template.relations
+    )
+    query = JoinQuery(tuple(attributes), schemas)
+
+    relations: list[Relation] = []
+    for index, schema in enumerate(schemas):
+        if index == encoding_index:
+            arity = len(schema.attribute_names)
+            freq = np.zeros(schema.shape, dtype=np.int64)
+            for value in range(domain_size):
+                count = int(counts[value])
+                for copy in range(min(count, n)):
+                    position = pair_domain.index_of((value, copy))
+                    freq[tuple([position] * arity)] = 1
+            relations.append(Relation(schema, freq))
+        else:
+            relations.append(Relation.full(schema, 1))
+    instance = Instance(query, relations)
+
+    # Lift the single-table queries onto the first attribute of the encoding
+    # relation (its value determines the original record's domain value).
+    encoding_first_axis_signs: list[ProductQuery] = []
+    if include_counting:
+        encoding_first_axis_signs.append(all_one_query(query))
+    pair_values = list(pair_domain)
+    for q_index in range(source.num_queries):
+        signs = source.query_signs[q_index]
+        weights_1d = np.array([signs[value] for value, _copy in pair_values], dtype=float)
+        shape = [1] * len(encoding_schema.attribute_names)
+        shape[0] = len(pair_values)
+        weights = np.broadcast_to(
+            weights_1d.reshape(shape), schemas[encoding_index].shape
+        ).copy()
+        encoding_first_axis_signs.append(
+            ProductQuery(
+                query,
+                (TableQuery(encoding_schema.name, weights),),
+                name=f"lifted{q_index}",
+            )
+        )
+    workload = Workload(query, encoding_first_axis_signs)
+    return MultiTableHardInstance(
+        instance=instance,
+        workload=workload,
+        source=source,
+        delta=realized_delta,
+        encoding_relation=encoding_schema.name,
+        include_counting=include_counting,
+    )

@@ -1,0 +1,77 @@
+"""Hard single-table inputs in the spirit of Theorem 1.4.
+
+The fingerprinting lower bound of Bun–Ullman–Vadhan applies to random
+databases evaluated against large families of random ±1 queries.  For the
+empirical reproduction we only need concrete instances of that flavour:
+a frequency vector ``T : D -> Z≥0`` of total mass ``n`` spread over a domain
+of size ``n_D``, together with a family of uniformly random sign queries.
+These feed the reduction constructions of Theorems 3.5 / 1.6 / 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mechanisms.rng import resolve_rng
+
+
+@dataclass(frozen=True)
+class HardSingleTable:
+    """A single-table instance plus a random ±1 query family over its domain."""
+
+    counts: np.ndarray
+    query_signs: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def domain_size(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.query_signs.shape[0])
+
+    def true_answers(self) -> np.ndarray:
+        """Exact answers ``q(T) = Σ_a q(a)·T(a)`` for every query."""
+        return self.query_signs @ self.counts.astype(float)
+
+
+def hard_single_table(
+    n: int,
+    domain_size: int,
+    num_queries: int,
+    *,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    concentrated: bool = False,
+) -> HardSingleTable:
+    """Sample a hard single-table input.
+
+    Parameters
+    ----------
+    n:
+        Number of records.
+    domain_size:
+        Size of the (unary) attribute domain ``D``.
+    num_queries:
+        Number of random ±1 queries.
+    concentrated:
+        With ``True`` all records share one domain value (the worst case for
+        join-size blow-ups); otherwise records are spread uniformly at random.
+    """
+    if n < 0 or domain_size <= 0 or num_queries <= 0:
+        raise ValueError("n must be >= 0 and domain_size, num_queries positive")
+    generator = resolve_rng(rng, seed)
+    counts = np.zeros(domain_size, dtype=np.int64)
+    if concentrated:
+        counts[0] = n
+    else:
+        positions = generator.integers(0, domain_size, size=n)
+        np.add.at(counts, positions, 1)
+    query_signs = generator.choice((-1.0, 1.0), size=(num_queries, domain_size))
+    return HardSingleTable(counts=counts, query_signs=query_signs)

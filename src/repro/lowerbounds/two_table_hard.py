@@ -1,0 +1,129 @@
+"""The two-table hard instance of Theorem 3.5 (Figure 2).
+
+An arbitrary single table ``T : D -> Z+`` with ``n`` records is encoded as a
+two-table instance whose join size is ``OUT = n·Δ`` and whose local
+sensitivity is ``Δ``:
+
+* ``dom(A) = D``, ``dom(B) = D × [n]``, ``dom(C) = [Δ]``;
+* ``R1(a, (b1, b2)) = 1[a = b1 ∧ b2 ≤ T(a)]``;
+* ``R2(b, c) = 1`` for every ``b, c``.
+
+Every single-table query ``q`` lifts to the product query
+``q' = (q ∘ π_A, all-one)`` with ``q'(I) = Δ·q(T)``, so an algorithm answering
+the lifted workload within error ``α`` answers the single-table workload
+within ``α/Δ`` — the reduction behind the ``√(OUT·Δ)`` lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lowerbounds.single_table_hard import HardSingleTable
+from repro.queries.linear import ProductQuery, TableQuery, all_one_query
+from repro.queries.workload import Workload
+from repro.relational.hypergraph import JoinQuery
+from repro.relational.instance import Instance
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Domain, RelationSchema
+
+
+@dataclass
+class TwoTableHardInstance:
+    """The lifted two-table instance, its workload, and the reduction metadata."""
+
+    instance: Instance
+    workload: Workload
+    source: HardSingleTable
+    delta: int
+    include_counting: bool
+
+    @property
+    def join_size(self) -> int:
+        return self.source.n * self.delta
+
+    def lifted_true_answers(self) -> np.ndarray:
+        """Exact answers of the lifted queries: ``Δ·q(T)`` (plus the count)."""
+        answers = self.delta * self.source.true_answers()
+        if self.include_counting:
+            return np.concatenate(([float(self.join_size)], answers))
+        return answers
+
+
+def two_table_hard_instance(
+    source: HardSingleTable,
+    delta: int,
+    *,
+    include_counting: bool = True,
+    capacity: int | None = None,
+) -> TwoTableHardInstance:
+    """Lift a hard single table into the Theorem 3.5 two-table instance.
+
+    ``capacity`` is the public per-value copy bound ``n`` used for
+    ``dom(B) = D × [n]``; it defaults to the source's record count but should
+    be fixed across neighbouring tables (the domain is public information).
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    counts = source.counts
+    domain_size = source.domain_size
+    n = max(source.n, 1) if capacity is None else int(capacity)
+    if n < 1:
+        raise ValueError("capacity must be at least 1")
+
+    a_domain = Domain([f"a{i}" for i in range(domain_size)])
+    b_domain = Domain([(i, j) for i in range(domain_size) for j in range(n)])
+    c_domain = Domain([f"c{i}" for i in range(delta)])
+    attr_a = Attribute("A", a_domain)
+    attr_b = Attribute("B", b_domain)
+    attr_c = Attribute("C", c_domain)
+    schema_r1 = RelationSchema("R1", (attr_a, attr_b))
+    schema_r2 = RelationSchema("R2", (attr_b, attr_c))
+    query = JoinQuery((attr_a, attr_b, attr_c), (schema_r1, schema_r2))
+
+    # R1(a, (b1, b2)) = 1[a = b1 and b2 <= T(a)].
+    r1_freq = np.zeros((domain_size, domain_size * n), dtype=np.int64)
+    for value in range(domain_size):
+        count = int(counts[value])
+        for copy in range(min(count, n)):
+            b_index = b_domain.index_of((value, copy))
+            r1_freq[value, b_index] = 1
+    r2_freq = np.ones((domain_size * n, delta), dtype=np.int64)
+    instance = Instance(
+        query,
+        (Relation(schema_r1, r1_freq), Relation(schema_r2, r2_freq)),
+    )
+
+    # Lift the single-table queries: weight of an R1 record is q(A-value).
+    queries: list[ProductQuery] = []
+    if include_counting:
+        queries.append(all_one_query(query))
+    for index in range(source.num_queries):
+        signs = source.query_signs[index]
+        weights = np.repeat(signs.reshape(-1, 1), domain_size * n, axis=1)
+        queries.append(
+            ProductQuery(
+                query,
+                (TableQuery("R1", weights),),
+                name=f"lifted{index}",
+            )
+        )
+    workload = Workload(query, queries)
+    return TwoTableHardInstance(
+        instance=instance,
+        workload=workload,
+        source=source,
+        delta=delta,
+        include_counting=include_counting,
+    )
+
+
+def recover_single_table_answers(
+    hard: TwoTableHardInstance, released_answers: np.ndarray
+) -> np.ndarray:
+    """Invert the reduction: divide the lifted answers by Δ (dropping the count)."""
+    released = np.asarray(released_answers, dtype=float)
+    if hard.include_counting:
+        released = released[1:]
+    return released / hard.delta

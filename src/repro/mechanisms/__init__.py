@@ -1,0 +1,44 @@
+"""Differential-privacy mechanism substrate.
+
+Noise primitives (Laplace, truncated/shifted Laplace, Gaussian), the
+exponential mechanism, privacy specifications and composition rules.  Every
+sampling function takes an explicit ``numpy.random.Generator`` so that all
+algorithms in the library are reproducible under a fixed seed.
+"""
+
+from repro.mechanisms.spec import PrivacySpec
+from repro.mechanisms.rng import resolve_rng
+from repro.mechanisms.laplace import laplace_mechanism, sample_laplace
+from repro.mechanisms.truncated_laplace import (
+    sample_truncated_laplace,
+    truncated_laplace_mechanism,
+    truncation_radius,
+)
+from repro.mechanisms.exponential import exponential_mechanism, exponential_mechanism_probabilities
+from repro.mechanisms.gaussian import gaussian_mechanism, gaussian_sigma
+from repro.mechanisms.composition import (
+    advanced_composition,
+    basic_composition,
+    group_privacy,
+    parallel_composition,
+)
+from repro.mechanisms.ledger import PrivacyLedger
+
+__all__ = [
+    "PrivacyLedger",
+    "PrivacySpec",
+    "advanced_composition",
+    "basic_composition",
+    "exponential_mechanism",
+    "exponential_mechanism_probabilities",
+    "gaussian_mechanism",
+    "gaussian_sigma",
+    "group_privacy",
+    "laplace_mechanism",
+    "parallel_composition",
+    "resolve_rng",
+    "sample_laplace",
+    "sample_truncated_laplace",
+    "truncated_laplace_mechanism",
+    "truncation_radius",
+]

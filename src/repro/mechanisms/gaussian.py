@@ -1,0 +1,41 @@
+"""The (classic) Gaussian mechanism.
+
+Not used by the paper's algorithms, but included as substrate for the
+baselines and for users who want (ε, δ)-DP additive noise on real-valued
+vector statistics with ℓ2 sensitivity.
+"""
+
+from __future__ import annotations
+
+from math import log, sqrt
+
+import numpy as np
+
+from repro.mechanisms.rng import resolve_rng
+
+
+def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
+    """Classic calibration ``σ = Δ₂·√(2·ln(1.25/δ)) / ε`` (requires ε ≤ 1)."""
+    if sensitivity < 0:
+        raise ValueError(f"sensitivity must be non-negative, got {sensitivity}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return sensitivity * sqrt(2.0 * log(1.25 / delta)) / epsilon
+
+
+def gaussian_mechanism(
+    value: float | np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    delta: float,
+    rng: np.random.Generator | None = None,
+) -> float | np.ndarray:
+    """Release ``value`` with Gaussian noise calibrated to ℓ2 ``sensitivity``."""
+    sigma = gaussian_sigma(sensitivity, epsilon, delta)
+    generator = resolve_rng(rng)
+    array = np.asarray(value, dtype=float)
+    noise = generator.normal(0.0, sigma, size=array.shape if array.shape else None)
+    noisy = array + noise
+    return float(noisy) if array.shape == () else noisy

@@ -1,0 +1,64 @@
+"""A simple privacy odometer.
+
+Algorithms register every primitive mechanism invocation with a
+:class:`PrivacyLedger`; the ledger reports the total spend under basic
+composition (and the maximum under parallel composition when charges are
+tagged as disjoint).  The core algorithms work without a ledger — it exists so
+integration tests and the privacy-audit benchmark can assert that an
+end-to-end run never exceeds its declared budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mechanisms.composition import basic_composition, parallel_composition
+from repro.mechanisms.spec import PrivacySpec
+
+
+@dataclass
+class LedgerEntry:
+    """One recorded mechanism invocation."""
+
+    label: str
+    spec: PrivacySpec
+    parallel_group: str | None = None
+
+
+@dataclass
+class PrivacyLedger:
+    """Records mechanism charges and reports the composed total."""
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def charge(
+        self, label: str, spec: PrivacySpec, *, parallel_group: str | None = None
+    ) -> None:
+        """Record one mechanism invocation.
+
+        ``parallel_group`` marks charges that act on disjoint parts of the
+        data: charges sharing a group compose in parallel (max) before the
+        group total enters basic composition with everything else.
+        """
+        self.entries.append(LedgerEntry(label=label, spec=spec, parallel_group=parallel_group))
+
+    def total(self) -> PrivacySpec:
+        """The composed (ε, δ) guarantee of everything charged so far."""
+        if not self.entries:
+            raise ValueError("no charges recorded")
+        sequential: list[PrivacySpec] = []
+        groups: dict[str, list[PrivacySpec]] = {}
+        for entry in self.entries:
+            if entry.parallel_group is None:
+                sequential.append(entry.spec)
+            else:
+                groups.setdefault(entry.parallel_group, []).append(entry.spec)
+        for specs in groups.values():
+            sequential.append(parallel_composition(specs))
+        return basic_composition(sequential)
+
+    def reset(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,38 @@
+"""Randomness plumbing.
+
+All mechanisms and algorithms accept either a ready-made
+``numpy.random.Generator`` or a plain integer seed.  ``resolve_rng`` funnels
+both into a Generator so callers never have to care which form they hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resolve_rng(rng: np.random.Generator | None = None, seed: int | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    Exactly one of ``rng`` and ``seed`` may be provided; with neither, a fresh
+    nondeterministic generator is created.
+    """
+    if rng is not None and seed is not None:
+        raise ValueError("provide either rng or seed, not both")
+    if rng is not None:
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(f"rng must be a numpy Generator, got {type(rng)!r}")
+        return rng
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used by the uniformization algorithms so that each sub-instance release
+    draws from its own stream (keeps results stable when the number of
+    buckets changes between runs).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

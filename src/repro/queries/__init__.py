@@ -1,0 +1,32 @@
+"""Linear-query workloads over multi-table joins.
+
+A linear query in the paper is a tuple ``q = (q_1, ..., q_m)`` with one weight
+function ``q_i : D_i -> [-1, +1]`` per relation; its answer is the weighted
+join size ``Σ_t ρ(t)·Π_i q_i(t_i)·R_i(t_i)``.  This subpackage provides the
+query objects, standard workload families (counting, predicates, marginals,
+ranges, random signs), and exact evaluation against both instances and
+released synthetic datasets.
+"""
+
+from repro.queries.linear import ProductQuery, TableQuery, all_one_query, counting_query
+from repro.queries.workload import Workload
+from repro.queries.evaluation import (
+    ErrorReport,
+    WorkloadEvaluator,
+    evaluate_workload_on_histogram,
+    evaluate_workload_on_instance,
+    max_error,
+)
+
+__all__ = [
+    "ErrorReport",
+    "ProductQuery",
+    "TableQuery",
+    "Workload",
+    "WorkloadEvaluator",
+    "all_one_query",
+    "counting_query",
+    "evaluate_workload_on_histogram",
+    "evaluate_workload_on_instance",
+    "max_error",
+]

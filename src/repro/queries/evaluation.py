@@ -1,0 +1,151 @@
+"""Exact workload evaluation and error reporting.
+
+:class:`WorkloadEvaluator` pre-computes (when memory allows) the flattened
+query-value matrix over the joint domain so that the PMW iterations and the
+error reports can evaluate the whole workload against a histogram with a
+single matrix-vector product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queries.workload import Workload
+from repro.relational.instance import Instance
+
+#: Above this many matrix cells the evaluator falls back to per-query loops.
+_MATRIX_CELL_BUDGET = 60_000_000
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Per-workload error summary between true and released answers."""
+
+    max_abs_error: float
+    mean_abs_error: float
+    root_mean_squared_error: float
+    worst_query: str
+    num_queries: int
+
+    @classmethod
+    def from_answers(
+        cls, true_answers: np.ndarray, released_answers: np.ndarray, names: tuple[str, ...]
+    ) -> "ErrorReport":
+        true_answers = np.asarray(true_answers, dtype=float)
+        released_answers = np.asarray(released_answers, dtype=float)
+        if true_answers.shape != released_answers.shape:
+            raise ValueError("answer vectors must have the same shape")
+        errors = np.abs(true_answers - released_answers)
+        worst_index = int(np.argmax(errors)) if errors.size else 0
+        return cls(
+            max_abs_error=float(errors.max()) if errors.size else 0.0,
+            mean_abs_error=float(errors.mean()) if errors.size else 0.0,
+            root_mean_squared_error=float(np.sqrt(np.mean(errors**2))) if errors.size else 0.0,
+            worst_query=names[worst_index] if names else "",
+            num_queries=int(errors.size),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"ErrorReport(max={self.max_abs_error:.3f}, mean={self.mean_abs_error:.3f}, "
+            f"rmse={self.root_mean_squared_error:.3f}, worst={self.worst_query!r}, "
+            f"|Q|={self.num_queries})"
+        )
+
+
+class WorkloadEvaluator:
+    """Evaluate a workload against instances and joint-domain histograms.
+
+    Parameters
+    ----------
+    workload:
+        The query family.
+    materialize:
+        Force (True) or forbid (False) building the dense query matrix; by
+        default the evaluator materialises it whenever
+        ``|Q| · |D|`` stays under a fixed cell budget.
+    """
+
+    def __init__(self, workload: Workload, materialize: bool | None = None):
+        self._workload = workload
+        self._join_query = workload.join_query
+        self._domain_size = self._join_query.joint_domain_size
+        cells = len(workload) * self._domain_size
+        if materialize is None:
+            materialize = cells <= _MATRIX_CELL_BUDGET
+        self._matrix: np.ndarray | None = None
+        if materialize:
+            matrix = np.empty((len(workload), self._domain_size), dtype=np.float64)
+            for row, query in enumerate(workload):
+                matrix[row] = query.joint_values().reshape(-1)
+            self._matrix = matrix
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    @property
+    def num_queries(self) -> int:
+        return len(self._workload)
+
+    @property
+    def domain_size(self) -> int:
+        return self._domain_size
+
+    @property
+    def has_matrix(self) -> bool:
+        return self._matrix is not None
+
+    def query_values(self, index: int) -> np.ndarray:
+        """Flattened joint-domain value vector of one query."""
+        if self._matrix is not None:
+            return self._matrix[index]
+        return self._workload[index].joint_values().reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def answers_on_instance(self, instance: Instance) -> np.ndarray:
+        """Exact answers ``q(I)`` for every workload query."""
+        return np.array([query.evaluate(instance) for query in self._workload], dtype=float)
+
+    def answers_on_histogram(self, histogram: np.ndarray) -> np.ndarray:
+        """Answers ``q(F)`` for every query against a joint-domain histogram."""
+        flat = np.asarray(histogram, dtype=float).reshape(-1)
+        if flat.size != self._domain_size:
+            raise ValueError(
+                f"histogram has {flat.size} cells, expected {self._domain_size}"
+            )
+        if self._matrix is not None:
+            return self._matrix @ flat
+        return np.array(
+            [query.evaluate_on_histogram(np.asarray(histogram, dtype=float)) for query in self._workload],
+            dtype=float,
+        )
+
+    def error_report(self, instance: Instance, histogram: np.ndarray) -> ErrorReport:
+        true_answers = self.answers_on_instance(instance)
+        released = self.answers_on_histogram(histogram)
+        return ErrorReport.from_answers(true_answers, released, self._workload.names())
+
+
+def evaluate_workload_on_instance(workload: Workload, instance: Instance) -> np.ndarray:
+    """Exact answers of every workload query on an instance."""
+    return WorkloadEvaluator(workload, materialize=False).answers_on_instance(instance)
+
+
+def evaluate_workload_on_histogram(workload: Workload, histogram: np.ndarray) -> np.ndarray:
+    """Answers of every workload query against a joint-domain histogram."""
+    return WorkloadEvaluator(workload, materialize=False).answers_on_histogram(histogram)
+
+
+def max_error(workload: Workload, instance: Instance, histogram: np.ndarray) -> float:
+    """The ℓ∞ error ``max_q |q(I) − q(F)|`` of a released histogram."""
+    true_answers = evaluate_workload_on_instance(workload, instance)
+    released = evaluate_workload_on_histogram(workload, histogram)
+    return float(np.max(np.abs(true_answers - released))) if len(workload) else 0.0

@@ -1,0 +1,44 @@
+"""Relational substrate: annotated relations, join queries, and instances.
+
+The paper models each table as a *frequency function* ``R_i : D_i -> Z>=0``
+over the finite domain ``D_i`` (the cross product of its attribute domains).
+This subpackage implements that model directly with dense non-negative integer
+``numpy`` arrays (one axis per attribute), together with the join-query
+hypergraph machinery (boundaries, hierarchical attribute trees) that the
+sensitivity and partitioning code in the rest of the library builds on.
+"""
+
+from repro.relational.schema import Attribute, Domain, RelationSchema
+from repro.relational.relation import Relation
+from repro.relational.hypergraph import AttributeTree, JoinQuery
+from repro.relational.instance import Instance
+from repro.relational.join import (
+    join_result,
+    join_size,
+    joint_domain_size,
+    materialized_join_tuples,
+)
+from repro.relational.neighbors import (
+    enumerate_neighbors,
+    instance_distance,
+    is_neighboring,
+    random_neighbor,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeTree",
+    "Domain",
+    "Instance",
+    "JoinQuery",
+    "Relation",
+    "RelationSchema",
+    "enumerate_neighbors",
+    "instance_distance",
+    "is_neighboring",
+    "join_result",
+    "join_size",
+    "joint_domain_size",
+    "materialized_join_tuples",
+    "random_neighbor",
+]

@@ -1,0 +1,171 @@
+"""Multi-table database instances.
+
+An :class:`Instance` bundles a :class:`~repro.relational.hypergraph.JoinQuery`
+with one :class:`~repro.relational.relation.Relation` per hyperedge, i.e. the
+``I = (R_1, ..., R_m)`` of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.relational.hypergraph import JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+class Instance:
+    """A database instance over a join query.
+
+    Parameters
+    ----------
+    query:
+        The join query hypergraph.
+    relations:
+        One relation per hyperedge, in the same order as ``query.relations``.
+        Each relation's schema must match the corresponding hyperedge.
+    """
+
+    __slots__ = ("_query", "_relations")
+
+    def __init__(self, query: JoinQuery, relations: Sequence[Relation]):
+        relations = tuple(relations)
+        if len(relations) != query.num_relations:
+            raise ValueError(
+                f"expected {query.num_relations} relations, got {len(relations)}"
+            )
+        for schema, relation in zip(query.relations, relations):
+            if relation.schema.name != schema.name:
+                raise ValueError(
+                    f"relation order mismatch: expected {schema.name!r}, "
+                    f"got {relation.schema.name!r}"
+                )
+            if relation.schema.attribute_names != schema.attribute_names:
+                raise ValueError(
+                    f"relation {schema.name!r} attribute mismatch: expected "
+                    f"{schema.attribute_names}, got {relation.schema.attribute_names}"
+                )
+        self._query = query
+        self._relations = relations
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, query: JoinQuery) -> "Instance":
+        return cls(query, tuple(Relation.empty(schema) for schema in query.relations))
+
+    @classmethod
+    def from_tuple_lists(
+        cls, query: JoinQuery, tuples_by_relation: Mapping[str, Iterable[tuple]]
+    ) -> "Instance":
+        """Build an instance from ``{relation_name: iterable of value tuples}``."""
+        relations = []
+        for schema in query.relations:
+            tuples = tuples_by_relation.get(schema.name, ())
+            relations.append(Relation.from_tuples(schema, tuples))
+        return cls(query, relations)
+
+    @classmethod
+    def from_frequencies(
+        cls, query: JoinQuery, frequencies_by_relation: Mapping[str, np.ndarray]
+    ) -> "Instance":
+        """Build an instance from ``{relation_name: dense frequency array}``."""
+        relations = []
+        for schema in query.relations:
+            freq = frequencies_by_relation.get(schema.name)
+            if freq is None:
+                relations.append(Relation.empty(schema))
+            else:
+                relations.append(Relation(schema, freq))
+        return cls(query, relations)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def query(self) -> JoinQuery:
+        return self._query
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        return self._relations
+
+    @property
+    def num_relations(self) -> int:
+        return len(self._relations)
+
+    def relation(self, name_or_index: str | int) -> Relation:
+        if isinstance(name_or_index, int):
+            return self._relations[name_or_index]
+        return self._relations[self._query.relation_index(name_or_index)]
+
+    def schema(self, name_or_index: str | int) -> RelationSchema:
+        if isinstance(name_or_index, int):
+            return self._query.relations[name_or_index]
+        return self._query.relation(name_or_index)
+
+    def total_size(self) -> int:
+        """The input size ``n``: total multiplicity summed over all relations."""
+        return sum(relation.total() for relation in self._relations)
+
+    def relation_sizes(self) -> dict[str, int]:
+        return {relation.name: relation.total() for relation in self._relations}
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations)
+
+    # ------------------------------------------------------------------ #
+    # functional updates
+    # ------------------------------------------------------------------ #
+    def with_relation(self, name_or_index: str | int, relation: Relation) -> "Instance":
+        """Return a copy of the instance with one relation replaced."""
+        index = (
+            name_or_index
+            if isinstance(name_or_index, int)
+            else self._query.relation_index(name_or_index)
+        )
+        relations = list(self._relations)
+        relations[index] = relation
+        return Instance(self._query, relations)
+
+    def with_delta(self, name_or_index: str | int, record: tuple, delta: int) -> "Instance":
+        """Return a neighbouring-style copy with one tuple's multiplicity changed."""
+        index = (
+            name_or_index
+            if isinstance(name_or_index, int)
+            else self._query.relation_index(name_or_index)
+        )
+        return self.with_relation(index, self._relations[index].with_delta(record, delta))
+
+    def restrict(self, attribute_name: str, allowed_mask: np.ndarray) -> "Instance":
+        """Restrict every relation containing the attribute to the allowed values."""
+        relations = []
+        for relation in self._relations:
+            if relation.schema.has_attribute(attribute_name):
+                relations.append(relation.restrict(attribute_name, allowed_mask))
+            else:
+                relations.append(relation)
+        return Instance(self._query, relations)
+
+    def sub_instance(self, relations: Mapping[str, Relation]) -> "Instance":
+        """Return a copy with the listed relations replaced (others unchanged)."""
+        updated = list(self._relations)
+        for name, relation in relations.items():
+            updated[self._query.relation_index(name)] = relation
+        return Instance(self._query, updated)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        same_query = self._query is other._query or (
+            self._query.attribute_names == other._query.attribute_names
+            and self._query.relation_names == other._query.relation_names
+        )
+        return same_query and all(a == b for a, b in zip(self._relations, other._relations))
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{r.name}={r.total()}" for r in self._relations)
+        return f"Instance(n={self.total_size()}, {sizes})"

@@ -1,0 +1,166 @@
+"""Schema objects: attribute domains, attributes, and relation schemas.
+
+Every attribute has a finite, explicitly enumerated :class:`Domain`.  The
+paper's algorithms only ever interact with domains through their size and
+through membership/indexing of concrete values, so an ordered tuple of
+hashable values is sufficient and keeps the rest of the library fully
+vectorisable (a value is identified with its index along a numpy axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Sequence
+
+
+class Domain:
+    """An ordered, finite attribute domain.
+
+    Parameters
+    ----------
+    values:
+        The domain values, in a fixed order.  Values must be hashable and
+        unique; their position in this sequence is the integer index used by
+        the dense array representation of relations and synthetic data.
+    """
+
+    __slots__ = ("_values", "_index")
+
+    def __init__(self, values: Iterable[Hashable]):
+        values = tuple(values)
+        if not values:
+            raise ValueError("a domain must contain at least one value")
+        index = {value: position for position, value in enumerate(values)}
+        if len(index) != len(values):
+            raise ValueError("domain values must be unique")
+        self._values = values
+        self._index = index
+
+    @classmethod
+    def of_size(cls, size: int, prefix: str = "v") -> "Domain":
+        """Build a domain of ``size`` synthetic values ``prefix0..prefix{size-1}``."""
+        if size <= 0:
+            raise ValueError("domain size must be positive")
+        return cls(f"{prefix}{i}" for i in range(size))
+
+    @classmethod
+    def integers(cls, size: int) -> "Domain":
+        """Build the integer domain ``{0, 1, ..., size - 1}``."""
+        if size <= 0:
+            raise ValueError("domain size must be positive")
+        return cls(range(size))
+
+    @property
+    def values(self) -> tuple[Hashable, ...]:
+        return self._values
+
+    @property
+    def size(self) -> int:
+        return len(self._values)
+
+    def index_of(self, value: Hashable) -> int:
+        """Return the axis index of ``value``; raise ``KeyError`` if absent."""
+        return self._index[value]
+
+    def value_at(self, index: int) -> Hashable:
+        return self._values[index]
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._index
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        if self.size <= 6:
+            return f"Domain({list(self._values)!r})"
+        head = ", ".join(repr(v) for v in self._values[:3])
+        return f"Domain([{head}, ...] size={self.size})"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute together with its finite domain."""
+
+    name: str
+    domain: Domain
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    @property
+    def size(self) -> int:
+        return self.domain.size
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, size={self.domain.size})"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema: a name plus an ordered tuple of attributes.
+
+    The order of ``attributes`` fixes the axis order of the dense frequency
+    array held by :class:`repro.relational.relation.Relation`.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __init__(self, name: str, attributes: Sequence[Attribute]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        if not self.name:
+            raise ValueError("relation name must be non-empty")
+        if not self.attributes:
+            raise ValueError(f"relation {name!r} must have at least one attribute")
+        names = [attribute.name for attribute in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"relation {name!r} has duplicate attributes: {names}")
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.attributes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(attribute.domain.size for attribute in self.attributes)
+
+    @property
+    def domain_size(self) -> int:
+        """``|D_i|``: the number of potential tuples of this relation."""
+        size = 1
+        for attribute in self.attributes:
+            size *= attribute.domain.size
+        return size
+
+    def attribute(self, name: str) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def axis_of(self, name: str) -> int:
+        """Return the array axis corresponding to attribute ``name``."""
+        for axis, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return axis
+        raise KeyError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attribute.name == name for attribute in self.attributes)
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self.name!r}, attributes={self.attribute_names})"

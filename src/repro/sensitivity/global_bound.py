@@ -1,0 +1,47 @@
+"""Global sensitivity bounds for the counting join-size query.
+
+Global sensitivity is a worst case over *all* instances of a given input
+size, so it is a function of the join query and ``n`` rather than of the data.
+The paper notes (Appendix B.3) that for annotated relations the worst case is
+``Θ(n^{m-1})``, while for set-semantics (0/1) relations the AGM bound gives
+``n^{ρ(H_E)}`` per boundary query — the latter lives in
+:mod:`repro.analysis.agm` because it needs the fractional edge cover LP.
+"""
+
+from __future__ import annotations
+
+from repro.relational.hypergraph import JoinQuery
+
+
+def global_sensitivity_upper_bound(query: JoinQuery, n: int) -> int:
+    """``GS_count`` upper bound for instances of input size at most ``n``.
+
+    Adding one tuple to relation ``i`` can create at most ``Π_{j≠i} n_j`` new
+    join results, which is maximised by putting all remaining mass on the
+    other relations, giving ``(n/(m-1))^{m-1} ≤ n^{m-1}``.  For the two-table
+    query this is exactly ``n`` and for a single table it is 1, matching the
+    facts used in Algorithms 1 and 3.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    m = query.num_relations
+    if m == 1:
+        return 1
+    if m == 2:
+        return n
+    return int(n ** (m - 1))
+
+
+def local_sensitivity_global_sensitivity(query: JoinQuery) -> int | None:
+    """Global sensitivity of the *function* ``LS_count`` itself.
+
+    For two-table queries adding/removing one tuple changes the maximum
+    degree by at most one, which is why Algorithm 1 can release Δ with
+    sensitivity-1 truncated Laplace noise.  For ``m ≥ 3`` the quantity is not
+    usefully bounded (it can change by ``Θ(n^{m-2})``), which is exactly the
+    reason Algorithm 3 switches to residual sensitivity; callers should treat
+    the returned ``None`` as "unbounded".
+    """
+    if query.num_relations <= 2:
+        return 1
+    return None

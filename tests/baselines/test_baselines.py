@@ -1,0 +1,130 @@
+"""Unit tests for the baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flawed import flawed_exact_count_release, flawed_padded_release
+from repro.baselines.global_noise import global_sensitivity_answers
+from repro.baselines.independent_laplace import independent_laplace_answers
+from repro.core.pmw import PMWConfig
+from repro.datagen.synthetic import figure1_pair
+from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.workload import Workload
+from repro.relational.join import join_size
+from repro.sensitivity.local import local_sensitivity
+
+FAST = PMWConfig(max_iterations=4)
+
+
+class TestFlawedVariants:
+    def test_exact_count_total_tracks_join_size(self, two_table_instance):
+        """The defining flaw: the released total equals count(I) exactly."""
+        workload = Workload.counting(two_table_instance.query)
+        result = flawed_exact_count_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST
+        )
+        assert result.synthetic.total_mass() == pytest.approx(
+            join_size(two_table_instance), rel=1e-6
+        )
+        assert result.algorithm == "flawed_exact_count"
+        assert "NOT" in result.synthetic.metadata["warning"]
+
+    def test_exact_count_distinguishes_figure1_pair(self):
+        """On the Figure 1 pair the released totals differ deterministically."""
+        pair = figure1_pair(12)
+        workload = Workload.counting(pair.query)
+        on_instance = flawed_exact_count_release(
+            pair.instance, workload, 1.0, 1e-5, seed=1, pmw_config=FAST
+        )
+        on_neighbor = flawed_exact_count_release(
+            pair.neighbor, workload, 1.0, 1e-5, seed=1, pmw_config=FAST
+        )
+        assert on_instance.synthetic.total_mass() == pytest.approx(12, rel=1e-6)
+        assert on_neighbor.synthetic.total_mass() == pytest.approx(0, abs=1e-9)
+
+    def test_padded_release_adds_uniform_mass(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = flawed_padded_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST
+        )
+        assert result.synthetic.total_mass() > join_size(two_table_instance)
+        assert result.diagnostics["eta"] >= 0
+        assert result.diagnostics["delta_tilde"] >= local_sensitivity(two_table_instance)
+
+    def test_padded_histogram_strictly_positive(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = flawed_padded_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST
+        )
+        assert np.all(result.synthetic.histogram > 0)
+
+
+class TestIndependentLaplace:
+    def test_answers_shape_and_privacy(self, two_table_instance):
+        workload = Workload.random_sign(two_table_instance.query, 10, seed=0)
+        result = independent_laplace_answers(
+            two_table_instance, workload, 1.0, 1e-5, seed=1
+        )
+        assert result.answers.shape == (len(workload),)
+        assert result.privacy.epsilon == 1.0
+        assert result.per_query_epsilon == pytest.approx(0.5 / len(workload))
+        assert result.sensitivity_bound >= local_sensitivity(two_table_instance)
+
+    def test_error_grows_with_workload_size(self, two_table_instance):
+        rng = np.random.default_rng(0)
+        errors = {}
+        for size in (4, 64):
+            workload = Workload.random_sign(two_table_instance.query, size, rng=rng)
+            evaluator = WorkloadEvaluator(workload, materialize=False)
+            true_answers = evaluator.answers_on_instance(two_table_instance)
+            worst = []
+            for _ in range(5):
+                result = independent_laplace_answers(
+                    two_table_instance, workload, 1.0, 1e-5, rng=rng
+                )
+                worst.append(np.max(np.abs(result.answers - true_answers)))
+            errors[size] = np.median(worst)
+        assert errors[64] > errors[4]
+
+    def test_multi_table_uses_residual_sensitivity(self, path3_instance):
+        workload = Workload.counting(path3_instance.query)
+        result = independent_laplace_answers(path3_instance, workload, 1.0, 1e-3, seed=2)
+        assert result.sensitivity_bound >= 1.0
+
+    def test_reproducible(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        first = independent_laplace_answers(two_table_instance, workload, 1.0, 1e-5, seed=3)
+        second = independent_laplace_answers(two_table_instance, workload, 1.0, 1e-5, seed=3)
+        assert np.array_equal(first.answers, second.answers)
+
+
+class TestGlobalNoise:
+    def test_sensitivity_is_data_independent(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = global_sensitivity_answers(
+            two_table_instance, workload, 1.0, public_size_bound=500, seed=0
+        )
+        assert result.global_sensitivity == 500
+        assert result.privacy.delta == 0.0
+
+    def test_defaults_to_instance_size(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = global_sensitivity_answers(two_table_instance, workload, 1.0, seed=0)
+        assert result.global_sensitivity == two_table_instance.total_size()
+
+    def test_noise_dwarfs_instance_dependent_baseline(self, two_table_instance, rng):
+        """Global-sensitivity noise should typically be much larger than the
+        local-sensitivity-calibrated baseline on benign instances."""
+        workload = Workload.counting(two_table_instance.query)
+        evaluator = WorkloadEvaluator(workload, materialize=False)
+        truth = evaluator.answers_on_instance(two_table_instance)
+        global_errors = []
+        local_errors = []
+        for _ in range(20):
+            g = global_sensitivity_answers(
+                two_table_instance, workload, 1.0, public_size_bound=10_000, rng=rng
+            )
+            l = independent_laplace_answers(two_table_instance, workload, 1.0, 1e-5, rng=rng)
+            global_errors.append(abs(g.answers[0] - truth[0]))
+            local_errors.append(abs(l.answers[0] - truth[0]))
+        assert np.median(global_errors) > np.median(local_errors)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational.hypergraph import figure4_query, path3_query, two_table_query
+from repro.relational.instance import Instance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_table_instance() -> Instance:
+    """A small two-table instance with skewed degrees (Δ = 3)."""
+    query = two_table_query(5, 4, 5)
+    return Instance.from_tuple_lists(
+        query,
+        {
+            "R1": [(0, 0), (1, 0), (2, 0), (3, 1), (4, 2), (0, 2)],
+            "R2": [(0, 0), (0, 1), (0, 2), (1, 3), (2, 4), (2, 0)],
+        },
+    )
+
+
+@pytest.fixture
+def path3_instance() -> Instance:
+    """A small three-table chain instance R1(A,B) ⋈ R2(B,C) ⋈ R3(C,D)."""
+    query = path3_query(4, 4, 4, 4)
+    return Instance.from_tuple_lists(
+        query,
+        {
+            "R1": [(0, 1), (1, 1), (2, 2), (3, 3)],
+            "R2": [(1, 0), (1, 1), (2, 2), (3, 3)],
+            "R3": [(0, 0), (1, 1), (2, 2), (2, 3)],
+        },
+    )
+
+
+@pytest.fixture
+def figure4_instance() -> Instance:
+    """A small instance of the paper's Figure 4 hierarchical query."""
+    query = figure4_query(3)
+    return Instance.from_tuple_lists(
+        query,
+        {
+            "R1": [(0, 0, 0), (0, 1, 1), (1, 2, 2)],
+            "R2": [(0, 0, 2), (0, 1, 0), (1, 2, 1)],
+            "R3": [(0, 0, 1, 1), (0, 1, 2, 0)],
+            "R4": [(0, 0, 1, 2), (1, 2, 0, 0)],
+            "R5": [(0, 2), (1, 1), (2, 0)],
+        },
+    )

@@ -1,0 +1,137 @@
+"""Unit tests for the PMW routine (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.workload import Workload
+from repro.relational.hypergraph import two_table_query
+from repro.relational.instance import Instance
+from repro.relational.join import join_size
+
+
+@pytest.fixture
+def query():
+    return two_table_query(4, 4, 4)
+
+
+@pytest.fixture
+def instance(query):
+    tuples_r1 = [(a, a % 4) for a in range(4) for _ in range(3)]
+    tuples_r2 = [(b, (b + 1) % 4) for b in range(4) for _ in range(3)]
+    return Instance.from_tuple_lists(query, {"R1": tuples_r1, "R2": tuples_r2})
+
+
+class TestBasicProperties:
+    def test_histogram_shape_and_nonnegativity(self, instance, query):
+        workload = Workload.random_sign(query, 10, seed=0)
+        result = private_multiplicative_weights(
+            instance, workload, 1.0, 1e-5, 2.0, seed=1
+        )
+        assert result.histogram.shape == query.shape
+        assert np.all(result.histogram >= 0)
+
+    def test_total_mass_matches_noisy_total(self, instance, query):
+        workload = Workload.random_sign(query, 10, seed=0)
+        result = private_multiplicative_weights(
+            instance, workload, 1.0, 1e-5, 2.0, seed=1
+        )
+        assert result.histogram.sum() == pytest.approx(result.noisy_total, rel=1e-6)
+
+    def test_noisy_total_never_below_true_count(self, instance, query):
+        workload = Workload.counting(query)
+        for seed in range(5):
+            result = private_multiplicative_weights(
+                instance, workload, 1.0, 1e-5, 2.0, seed=seed
+            )
+            assert result.noisy_total >= join_size(instance)
+
+    def test_reproducible_with_seed(self, instance, query):
+        workload = Workload.random_sign(query, 10, seed=0)
+        first = private_multiplicative_weights(instance, workload, 1.0, 1e-5, 2.0, seed=3)
+        second = private_multiplicative_weights(instance, workload, 1.0, 1e-5, 2.0, seed=3)
+        assert np.array_equal(first.histogram, second.histogram)
+        assert first.selected_queries == second.selected_queries
+
+    def test_iterations_respect_config(self, instance, query):
+        workload = Workload.random_sign(query, 10, seed=0)
+        config = PMWConfig(num_iterations=3)
+        result = private_multiplicative_weights(
+            instance, workload, 1.0, 1e-5, 2.0, seed=1, config=config
+        )
+        assert result.iterations == 3
+        assert len(result.selected_queries) == 3
+
+    def test_auto_iterations_clamped(self, instance, query):
+        workload = Workload.random_sign(query, 10, seed=0)
+        config = PMWConfig(max_iterations=2)
+        result = private_multiplicative_weights(
+            instance, workload, 1.0, 1e-5, 1.0, seed=1, config=config
+        )
+        assert result.iterations <= 2
+
+    def test_force_total_override(self, instance, query):
+        workload = Workload.counting(query)
+        config = PMWConfig(force_total=123.0, num_iterations=2)
+        result = private_multiplicative_weights(
+            instance, workload, 1.0, 1e-5, 1.0, seed=1, config=config
+        )
+        assert result.noisy_total == 123.0
+
+    def test_empty_instance_with_forced_zero_total(self, query):
+        workload = Workload.counting(query)
+        config = PMWConfig(force_total=0.0)
+        result = private_multiplicative_weights(
+            Instance.empty(query), workload, 1.0, 1e-5, 1.0, seed=1, config=config
+        )
+        assert result.iterations == 0
+        assert np.all(result.histogram == 0)
+
+    def test_prebuilt_evaluator_is_used(self, instance, query):
+        workload = Workload.random_sign(query, 6, seed=0)
+        evaluator = WorkloadEvaluator(workload)
+        result = private_multiplicative_weights(
+            instance, workload, 1.0, 1e-5, 2.0, seed=2, evaluator=evaluator
+        )
+        assert result.histogram.shape == query.shape
+
+    def test_parameter_validation(self, instance, query):
+        workload = Workload.counting(query)
+        with pytest.raises(ValueError):
+            private_multiplicative_weights(instance, workload, 0.0, 1e-5, 1.0)
+        with pytest.raises(ValueError):
+            private_multiplicative_weights(instance, workload, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            private_multiplicative_weights(instance, workload, 1.0, 1e-5, 0.0)
+
+
+class TestUtility:
+    def test_learns_marginals_on_moderate_instance(self):
+        """With a generous budget, PMW should answer marginals better than the
+        trivial uniform baseline."""
+        query = two_table_query(6, 6, 6)
+        rng = np.random.default_rng(0)
+        tuples_r1 = [(int(rng.integers(6)), int(rng.integers(2))) for _ in range(300)]
+        tuples_r2 = [(int(rng.integers(2)), int(rng.integers(6))) for _ in range(300)]
+        instance = Instance.from_tuple_lists(query, {"R1": tuples_r1, "R2": tuples_r2})
+        workload = Workload.attribute_marginals(query, "B")
+        evaluator = WorkloadEvaluator(workload)
+        true_answers = evaluator.answers_on_instance(instance)
+
+        result = private_multiplicative_weights(
+            instance,
+            workload,
+            epsilon=4.0,
+            delta=1e-3,
+            sensitivity_bound=1.0,
+            seed=7,
+            evaluator=evaluator,
+            config=PMWConfig(force_total=float(join_size(instance)), num_iterations=40),
+        )
+        released = evaluator.answers_on_histogram(result.histogram)
+        uniform = np.full(query.shape, join_size(instance) / query.joint_domain_size)
+        uniform_answers = evaluator.answers_on_histogram(uniform)
+        pmw_error = np.max(np.abs(released - true_answers))
+        uniform_error = np.max(np.abs(uniform_answers - true_answers))
+        assert pmw_error < uniform_error

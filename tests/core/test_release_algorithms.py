@@ -1,0 +1,203 @@
+"""Unit tests for Algorithms 1, 3, and the unified release entry point."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_table import default_beta, multi_table_release
+from repro.core.pmw import PMWConfig
+from repro.core.release import release_synthetic_data
+from repro.core.two_table import two_table_release
+from repro.mechanisms.spec import PrivacySpec
+from repro.queries.workload import Workload
+from repro.relational.hypergraph import single_table_query, two_table_query
+from repro.relational.instance import Instance
+from repro.relational.join import join_size
+from repro.sensitivity.local import local_sensitivity
+from repro.sensitivity.residual import residual_sensitivity
+
+FAST = PMWConfig(max_iterations=5)
+
+
+class TestTwoTableRelease:
+    def test_basic_release(self, two_table_instance):
+        workload = Workload.random_sign(two_table_instance.query, 8, seed=0)
+        result = two_table_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=1, pmw_config=FAST
+        )
+        assert result.algorithm == "two_table"
+        assert result.privacy == PrivacySpec(1.0, 1e-5)
+        assert result.synthetic.histogram.shape == two_table_instance.query.shape
+        assert np.all(result.synthetic.histogram >= 0)
+
+    def test_delta_tilde_upper_bounds_local_sensitivity(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        for seed in range(5):
+            result = two_table_release(
+                two_table_instance, workload, 1.0, 1e-5, seed=seed, pmw_config=FAST
+            )
+            assert result.diagnostics["delta_tilde"] >= local_sensitivity(
+                two_table_instance
+            )
+
+    def test_noisy_total_upper_bounds_join_size(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = two_table_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=2, pmw_config=FAST
+        )
+        assert result.diagnostics["noisy_total"] >= join_size(two_table_instance)
+
+    def test_rejects_non_two_table(self, path3_instance):
+        workload = Workload.counting(path3_instance.query)
+        with pytest.raises(ValueError):
+            two_table_release(path3_instance, workload, 1.0, 1e-5, pmw_config=FAST)
+
+    def test_reproducible(self, two_table_instance):
+        workload = Workload.random_sign(two_table_instance.query, 6, seed=0)
+        first = two_table_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=9, pmw_config=FAST
+        )
+        second = two_table_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=9, pmw_config=FAST
+        )
+        assert np.array_equal(first.synthetic.histogram, second.synthetic.histogram)
+
+    def test_error_report_helper(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = two_table_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=3, pmw_config=FAST
+        )
+        report = result.error_report(two_table_instance, workload)
+        assert report.num_queries == 1
+        assert result.max_error(two_table_instance, workload) == report.max_abs_error
+
+
+class TestMultiTableRelease:
+    def test_basic_release(self, path3_instance):
+        workload = Workload.random_sign(path3_instance.query, 6, seed=0)
+        result = multi_table_release(
+            path3_instance, workload, 1.0, 1e-3, seed=1, pmw_config=FAST
+        )
+        assert result.algorithm == "multi_table"
+        assert result.privacy == PrivacySpec(1.0, 1e-3)
+        assert result.synthetic.histogram.shape == path3_instance.query.shape
+
+    def test_delta_tilde_upper_bounds_residual_sensitivity(self, path3_instance):
+        workload = Workload.counting(path3_instance.query)
+        beta = default_beta(1.0, 1e-3)
+        rs_value = residual_sensitivity(path3_instance, beta)
+        for seed in range(4):
+            result = multi_table_release(
+                path3_instance, workload, 1.0, 1e-3, seed=seed, pmw_config=FAST
+            )
+            assert result.diagnostics["delta_tilde"] >= rs_value - 1e-9
+
+    def test_default_beta_is_inverse_lambda(self):
+        import math
+
+        beta = default_beta(0.5, 1e-4)
+        assert beta == pytest.approx(0.5 / math.log(1e4))
+
+    def test_explicit_beta(self, path3_instance):
+        workload = Workload.counting(path3_instance.query)
+        result = multi_table_release(
+            path3_instance, workload, 1.0, 1e-3, beta=0.5, seed=0, pmw_config=FAST
+        )
+        assert result.diagnostics["beta"] == 0.5
+
+    def test_invalid_beta(self, path3_instance):
+        workload = Workload.counting(path3_instance.query)
+        with pytest.raises(ValueError):
+            multi_table_release(
+                path3_instance, workload, 1.0, 1e-3, beta=-1.0, pmw_config=FAST
+            )
+
+    def test_works_on_two_table_instances_as_well(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = multi_table_release(
+            two_table_instance, workload, 1.0, 1e-3, seed=0, pmw_config=FAST
+        )
+        assert result.synthetic.total_mass() > 0
+
+    def test_hierarchical_instance(self, figure4_instance):
+        workload = Workload.random_sign(figure4_instance.query, 4, seed=0)
+        result = multi_table_release(
+            figure4_instance, workload, 1.0, 1e-2, seed=0, pmw_config=FAST
+        )
+        assert result.synthetic.histogram.shape == figure4_instance.query.shape
+
+
+class TestReleaseDispatch:
+    def test_auto_single_table(self):
+        query = single_table_query({"X": 4, "Y": 3})
+        instance = Instance.from_tuple_lists(query, {"T": [(0, 0), (1, 2), (3, 1)]})
+        workload = Workload.random_sign(query, 5, seed=0)
+        result = release_synthetic_data(
+            instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST
+        )
+        assert result.algorithm == "single_table"
+
+    def test_auto_two_table(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = release_synthetic_data(
+            two_table_instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST
+        )
+        assert result.algorithm == "two_table"
+
+    def test_auto_multi_table(self, path3_instance):
+        workload = Workload.counting(path3_instance.query)
+        result = release_synthetic_data(
+            path3_instance, workload, 1.0, 1e-3, seed=0, pmw_config=FAST
+        )
+        assert result.algorithm == "multi_table"
+
+    def test_explicit_uniformize_two_table(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        result = release_synthetic_data(
+            two_table_instance,
+            workload,
+            1.0,
+            1e-3,
+            method="uniformize_two_table",
+            seed=0,
+            pmw_config=FAST,
+        )
+        assert result.algorithm == "uniformize_two_table"
+
+    def test_explicit_uniformize_hierarchical(self, figure4_instance):
+        workload = Workload.counting(figure4_instance.query)
+        result = release_synthetic_data(
+            figure4_instance,
+            workload,
+            1.0,
+            1e-2,
+            method="uniformize_hierarchical",
+            seed=0,
+            pmw_config=FAST,
+        )
+        assert result.algorithm == "uniformize_hierarchical"
+
+    def test_unknown_method_rejected(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        with pytest.raises(ValueError):
+            release_synthetic_data(
+                two_table_instance, workload, 1.0, 1e-5, method="magic"
+            )
+
+    def test_single_table_method_requires_one_relation(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        with pytest.raises(ValueError):
+            release_synthetic_data(
+                two_table_instance, workload, 1.0, 1e-5, method="single_table"
+            )
+
+    def test_seed_and_rng_mutually_exclusive(self, two_table_instance):
+        workload = Workload.counting(two_table_instance.query)
+        with pytest.raises(ValueError):
+            release_synthetic_data(
+                two_table_instance,
+                workload,
+                1.0,
+                1e-5,
+                rng=np.random.default_rng(0),
+                seed=1,
+            )

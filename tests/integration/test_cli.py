@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "e1" in output and "e14" in output
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "released under" in output
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_small_experiment(self, capsys):
+        assert main(["run", "e4", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "E4" in output
+        assert "finished" in output
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "e4", "--markdown"]) == 0
+        assert "|---" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,134 @@
+"""Unit tests for linear queries over joins."""
+
+import numpy as np
+import pytest
+
+from repro.queries.linear import ProductQuery, TableQuery, all_one_query, counting_query
+from repro.relational.hypergraph import path3_query, two_table_query
+from repro.relational.instance import Instance
+from repro.relational.join import join_result, join_size
+
+
+@pytest.fixture
+def query():
+    return two_table_query(3, 3, 3)
+
+
+@pytest.fixture
+def instance(query):
+    return Instance.from_tuple_lists(
+        query, {"R1": [(0, 0), (1, 0), (2, 1)], "R2": [(0, 0), (0, 2), (1, 1)]}
+    )
+
+
+class TestTableQuery:
+    def test_weights_range_enforced(self, query):
+        schema = query.relation("R1")
+        with pytest.raises(ValueError):
+            TableQuery("R1", np.full(schema.shape, 2.0))
+        with pytest.raises(ValueError):
+            TableQuery("R1", np.full(schema.shape, np.nan))
+
+    def test_all_one(self, query):
+        schema = query.relation("R1")
+        table_query = TableQuery.all_one(schema)
+        assert table_query.is_all_one()
+        assert table_query.weights.shape == schema.shape
+
+    def test_indicator_single_attribute(self, query):
+        schema = query.relation("R1")
+        indicator = TableQuery.indicator(schema, {"B": [0, 2]})
+        assert indicator.weights[1, 0] == 1.0
+        assert indicator.weights[1, 1] == 0.0
+        assert indicator.weights[0, 2] == 1.0
+
+    def test_indicator_conjunction(self, query):
+        schema = query.relation("R2")
+        indicator = TableQuery.indicator(schema, {"B": [1], "C": [2]})
+        assert indicator.weights[1, 2] == 1.0
+        assert indicator.weights.sum() == 1.0
+
+
+class TestProductQuery:
+    def test_counting_query_equals_join_size(self, instance):
+        count = counting_query(instance.query)
+        assert count.evaluate(instance) == join_size(instance)
+        assert count.is_counting_query()
+
+    def test_missing_relations_default_to_all_one(self, instance, query):
+        schema = query.relation("R1")
+        partial = ProductQuery(query, (TableQuery.indicator(schema, {"B": [0]}),))
+        # Restricting R1 to B=0: R1 has 2 such records, R2 has 2 records with B=0.
+        assert partial.evaluate(instance) == 4
+
+    def test_unknown_relation_rejected(self, query):
+        fake = TableQuery("R9", np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            ProductQuery(query, (fake,))
+
+    def test_wrong_shape_rejected(self, query):
+        with pytest.raises(ValueError):
+            ProductQuery(query, (TableQuery("R1", np.ones((2, 2))),))
+
+    def test_evaluation_matches_histogram_evaluation(self, instance):
+        rng = np.random.default_rng(3)
+        query = instance.query
+        table_queries = [
+            TableQuery(schema.name, rng.uniform(-1, 1, size=schema.shape))
+            for schema in query.relations
+        ]
+        product = ProductQuery(query, table_queries)
+        direct = product.evaluate(instance)
+        via_histogram = product.evaluate_on_histogram(join_result(instance).astype(float))
+        assert direct == pytest.approx(via_histogram)
+
+    def test_joint_values_range(self, instance, rng):
+        query = instance.query
+        table_queries = [
+            TableQuery(schema.name, rng.uniform(-1, 1, size=schema.shape))
+            for schema in query.relations
+        ]
+        product = ProductQuery(query, table_queries)
+        values = product.joint_values()
+        assert values.shape == query.shape
+        assert values.max() <= 1.0 + 1e-12
+        assert values.min() >= -1.0 - 1e-12
+
+    def test_histogram_shape_checked(self, query):
+        count = counting_query(query)
+        with pytest.raises(ValueError):
+            count.evaluate_on_histogram(np.zeros((2, 2, 2)))
+
+    def test_signed_weights_linear_combination(self, instance):
+        """q(I) is linear: splitting the instance splits the answer."""
+        query = instance.query
+        rng = np.random.default_rng(5)
+        product = ProductQuery(
+            query,
+            [
+                TableQuery(schema.name, rng.choice([-1.0, 1.0], size=schema.shape))
+                for schema in query.relations
+            ],
+        )
+        # Doubling R1's multiplicities doubles the answer.
+        doubled = instance.with_relation(
+            "R1", instance.relation("R1").with_frequencies(instance.relation("R1").frequencies * 2)
+        )
+        assert product.evaluate(doubled) == pytest.approx(2 * product.evaluate(instance))
+
+    def test_three_table_query_evaluation(self):
+        query = path3_query(2, 2, 2, 2)
+        instance = Instance.from_tuple_lists(
+            query,
+            {"R1": [(0, 0)], "R2": [(0, 1)], "R3": [(1, 1)]},
+        )
+        count = all_one_query(query)
+        assert count.evaluate(instance) == 1
+        values = count.joint_values()
+        assert values.shape == (2, 2, 2, 2)
+        assert np.all(values == 1.0)
+
+    def test_table_query_lookup(self, query):
+        product = all_one_query(query)
+        assert product.table_query("R1").relation_name == "R1"
+        assert product.table_query("R2").is_all_one()

@@ -1,0 +1,116 @@
+"""Unit tests for domains, attributes, and relation schemas."""
+
+import pytest
+
+from repro.relational.schema import Attribute, Domain, RelationSchema
+
+
+class TestDomain:
+    def test_values_preserved_in_order(self):
+        domain = Domain(["x", "y", "z"])
+        assert domain.values == ("x", "y", "z")
+        assert domain.size == 3
+
+    def test_index_round_trip(self):
+        domain = Domain([10, 20, 30])
+        for position, value in enumerate(domain):
+            assert domain.index_of(value) == position
+            assert domain.value_at(position) == value
+
+    def test_membership(self):
+        domain = Domain(["a", "b"])
+        assert "a" in domain
+        assert "c" not in domain
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            Domain(["a", "a"])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Domain([])
+
+    def test_of_size(self):
+        domain = Domain.of_size(4, prefix="t")
+        assert domain.size == 4
+        assert domain.value_at(0) == "t0"
+
+    def test_integers(self):
+        domain = Domain.integers(5)
+        assert list(domain) == [0, 1, 2, 3, 4]
+
+    def test_of_size_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Domain.of_size(0)
+        with pytest.raises(ValueError):
+            Domain.integers(-1)
+
+    def test_equality_and_hash(self):
+        assert Domain([1, 2]) == Domain([1, 2])
+        assert Domain([1, 2]) != Domain([2, 1])
+        assert hash(Domain([1, 2])) == hash(Domain([1, 2]))
+
+    def test_index_of_unknown_value_raises(self):
+        with pytest.raises(KeyError):
+            Domain([1]).index_of(7)
+
+    def test_len_matches_size(self):
+        domain = Domain.integers(9)
+        assert len(domain) == domain.size == 9
+
+    def test_repr_small_and_large(self):
+        assert "Domain" in repr(Domain([1, 2]))
+        assert "size=20" in repr(Domain.integers(20))
+
+
+class TestAttribute:
+    def test_basic(self):
+        attribute = Attribute("A", Domain.integers(3))
+        assert attribute.name == "A"
+        assert attribute.size == 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("", Domain.integers(2))
+
+
+class TestRelationSchema:
+    def test_shape_and_domain_size(self):
+        schema = RelationSchema(
+            "R", (Attribute("A", Domain.integers(3)), Attribute("B", Domain.integers(4)))
+        )
+        assert schema.shape == (3, 4)
+        assert schema.domain_size == 12
+        assert schema.attribute_names == ("A", "B")
+
+    def test_axis_of(self):
+        schema = RelationSchema(
+            "R", (Attribute("A", Domain.integers(2)), Attribute("B", Domain.integers(2)))
+        )
+        assert schema.axis_of("A") == 0
+        assert schema.axis_of("B") == 1
+        with pytest.raises(KeyError):
+            schema.axis_of("C")
+
+    def test_attribute_lookup(self):
+        a = Attribute("A", Domain.integers(2))
+        schema = RelationSchema("R", (a,))
+        assert schema.attribute("A") is a
+        with pytest.raises(KeyError):
+            schema.attribute("Z")
+
+    def test_has_attribute(self):
+        schema = RelationSchema("R", (Attribute("A", Domain.integers(2)),))
+        assert schema.has_attribute("A")
+        assert not schema.has_attribute("B")
+
+    def test_duplicate_attributes_rejected(self):
+        a = Attribute("A", Domain.integers(2))
+        with pytest.raises(ValueError):
+            RelationSchema("R", (a, a))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", ())
+        with pytest.raises(ValueError):
+            RelationSchema("", (Attribute("A", Domain.integers(2)),))

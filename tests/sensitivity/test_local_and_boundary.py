@@ -1,0 +1,115 @@
+"""Unit tests for local sensitivity and maximum boundary queries."""
+
+import numpy as np
+import pytest
+
+from repro.relational.hypergraph import path3_query, two_table_query
+from repro.relational.instance import Instance
+from repro.relational.join import join_size
+from repro.relational.neighbors import enumerate_neighbors
+from repro.sensitivity.boundary import (
+    all_boundary_queries,
+    boundary_query,
+    boundary_query_profile,
+)
+from repro.sensitivity.local import (
+    local_sensitivity,
+    local_sensitivity_for_relation,
+    per_relation_local_sensitivity,
+)
+
+
+class TestLocalSensitivityTwoTable:
+    def test_equals_max_degree(self, two_table_instance):
+        first, second = two_table_instance.relations
+        expected = max(first.max_degree(["B"]), second.max_degree(["B"]))
+        assert local_sensitivity(two_table_instance) == expected
+
+    def test_matches_definition_via_neighbors(self, two_table_instance):
+        """LS(I) is exactly the largest join-size change over all neighbours."""
+        base = join_size(two_table_instance)
+        worst = 0
+        for neighbor in enumerate_neighbors(two_table_instance):
+            worst = max(worst, abs(join_size(neighbor) - base))
+        assert local_sensitivity(two_table_instance) == worst
+
+    def test_per_relation_breakdown(self, two_table_instance):
+        per_relation = per_relation_local_sensitivity(two_table_instance)
+        assert set(per_relation) == {"R1", "R2"}
+        assert max(per_relation.values()) == local_sensitivity(two_table_instance)
+        assert local_sensitivity_for_relation(
+            two_table_instance, "R1"
+        ) == per_relation["R1"]
+
+    def test_empty_instance(self):
+        query = two_table_query(3, 3, 3)
+        assert local_sensitivity(Instance.empty(query)) == 0
+
+    def test_single_table_is_one(self):
+        from repro.relational.hypergraph import single_table_query
+
+        query = single_table_query({"X": 3})
+        instance = Instance.from_tuple_lists(query, {"T": [(0,), (1,)]})
+        assert local_sensitivity(instance) == 1
+
+    def test_figure1_instance_has_sensitivity_n(self):
+        from repro.datagen.synthetic import figure1_pair
+
+        pair = figure1_pair(10)
+        assert local_sensitivity(pair.instance) == 10
+        assert local_sensitivity(pair.neighbor) == 10
+
+
+class TestLocalSensitivityMultiTable:
+    def test_matches_definition_via_neighbors(self, path3_instance):
+        base = join_size(path3_instance)
+        worst = 0
+        for neighbor in enumerate_neighbors(path3_instance):
+            worst = max(worst, abs(join_size(neighbor) - base))
+        assert local_sensitivity(path3_instance) == worst
+
+    def test_middle_relation_sees_both_sides(self):
+        query = path3_query(3, 3, 3, 3)
+        instance = Instance.from_tuple_lists(
+            query,
+            {
+                "R1": [(0, 0), (1, 0), (2, 0)],
+                "R2": [(0, 0)],
+                "R3": [(0, 0), (0, 1)],
+            },
+        )
+        per_relation = per_relation_local_sensitivity(instance)
+        # Adding a tuple (0, 0) to R2 creates 3 × 2 = 6 join results.
+        assert per_relation["R2"] == 6
+
+
+class TestBoundaryQueries:
+    def test_empty_subset_is_one(self, two_table_instance):
+        assert boundary_query(two_table_instance, ()) == 1
+
+    def test_singleton_subsets_are_degrees(self, two_table_instance):
+        first, second = two_table_instance.relations
+        assert boundary_query(two_table_instance, (0,)) == first.max_degree(["B"])
+        assert boundary_query(two_table_instance, (1,)) == second.max_degree(["B"])
+
+    def test_full_set_has_empty_boundary(self, two_table_instance):
+        # ∂[m] = ∅ so T_[m] is the total join size.
+        assert boundary_query(two_table_instance, (0, 1)) == join_size(two_table_instance)
+
+    def test_all_boundary_queries_keys(self, path3_instance):
+        values = all_boundary_queries(path3_instance)
+        assert len(values) == 8
+        assert values[frozenset()] == 1
+
+    def test_chain_middle_subset(self, path3_instance):
+        # T_{R1,R3}: boundary is {B, C}; R1 and R3 do not share attributes, so
+        # the grouped size is deg_1(b)·deg_3(c) maximised over (b, c).
+        first = path3_instance.relation("R1").degree(["B"])
+        third = path3_instance.relation("R3").degree(["C"])
+        expected = int(np.max(np.outer(first, third)))
+        assert boundary_query(path3_instance, (0, 2)) == expected
+
+    def test_profile_max_equals_boundary_query(self, two_table_instance):
+        profile = boundary_query_profile(two_table_instance, (0,))
+        assert int(profile.max()) == boundary_query(two_table_instance, (0,))
+        assert profile.ndim == 1

@@ -1,0 +1,156 @@
+"""Unit tests for residual sensitivity (Definition 3.6)."""
+
+import math
+
+import pytest
+
+from repro.relational.hypergraph import path3_query, two_table_query
+from repro.relational.instance import Instance
+from repro.sensitivity.boundary import all_boundary_queries
+from repro.sensitivity.local import local_sensitivity
+from repro.sensitivity.residual import (
+    certified_cutoff,
+    maximize_residual_objective,
+    residual_sensitivity,
+    residual_sensitivity_profile,
+)
+
+
+def brute_force_residual(instance, beta: float, k_max: int) -> float:
+    """Direct evaluation of Definition 3.6 by explicit composition enumeration."""
+    from itertools import combinations
+
+    query = instance.query
+    m = query.num_relations
+    boundary = all_boundary_queries(instance)
+
+    def compositions(total, parts):
+        if parts == 1:
+            yield (total,)
+            return
+        for head in range(total + 1):
+            for rest in compositions(total - head, parts - 1):
+                yield (head,) + rest
+
+    best = 0.0
+    for k in range(k_max + 1):
+        ls_hat = 0
+        for i in range(m):
+            others = [j for j in range(m) if j != i]
+            for split in compositions(k, len(others)):
+                s = dict(zip(others, split))
+                value = 0
+                for size in range(len(others) + 1):
+                    for chosen in combinations(others, size):
+                        remaining = frozenset(set(others) - set(chosen))
+                        term = boundary[remaining]
+                        for j in chosen:
+                            term *= s[j]
+                        value += term
+                ls_hat = max(ls_hat, value)
+        best = max(best, math.exp(-beta * k) * ls_hat)
+    return best
+
+
+class TestTwoTable:
+    def test_k0_term_is_local_sensitivity(self, two_table_instance):
+        profile = residual_sensitivity_profile(two_table_instance, beta=0.5)
+        assert profile.ls_hat_by_k[0] == local_sensitivity(two_table_instance)
+
+    def test_at_least_local_sensitivity(self, two_table_instance):
+        for beta in (0.05, 0.2, 1.0):
+            assert residual_sensitivity(two_table_instance, beta) >= local_sensitivity(
+                two_table_instance
+            ) - 1e-9
+
+    def test_matches_brute_force(self, two_table_instance):
+        for beta in (0.3, 0.7):
+            expected = brute_force_residual(two_table_instance, beta, k_max=30)
+            assert residual_sensitivity(two_table_instance, beta) == pytest.approx(expected)
+
+    def test_closed_form_two_table(self, two_table_instance):
+        """For two tables, RS^β = max_k e^{-βk}·(max(T1, T2) + k)... reduces to
+        max over k of e^{-βk}(LS + k) since T_{other} = per-relation degree."""
+        beta = 0.4
+        boundary = all_boundary_queries(two_table_instance)
+        t1 = boundary[frozenset({0})]
+        t2 = boundary[frozenset({1})]
+        expected = max(
+            math.exp(-beta * k) * max(t1 + k, t2 + k) for k in range(0, 50)
+        )
+        assert residual_sensitivity(two_table_instance, beta) == pytest.approx(expected)
+
+    def test_monotone_decreasing_in_beta(self, two_table_instance):
+        values = [
+            residual_sensitivity(two_table_instance, beta) for beta in (0.05, 0.2, 0.8)
+        ]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_empty_instance(self):
+        query = two_table_query(2, 2, 2)
+        value = residual_sensitivity(Instance.empty(query), 0.5)
+        # LŜ^k = k for the empty two-table instance (adding k tuples to one side).
+        expected = max(math.exp(-0.5 * k) * k for k in range(20))
+        assert value == pytest.approx(expected)
+
+    def test_invalid_beta(self, two_table_instance):
+        with pytest.raises(ValueError):
+            residual_sensitivity(two_table_instance, 0.0)
+
+
+class TestMultiTable:
+    def test_matches_brute_force_three_tables(self, path3_instance):
+        for beta in (0.4, 0.8):
+            expected = brute_force_residual(path3_instance, beta, k_max=25)
+            assert residual_sensitivity(path3_instance, beta) == pytest.approx(expected)
+
+    def test_smoothness_on_neighbors(self, path3_instance, rng):
+        """RS^β is a β-smooth upper bound: neighbouring values differ by ≤ e^β."""
+        from repro.relational.neighbors import random_neighbor
+
+        beta = 0.3
+        base = residual_sensitivity(path3_instance, beta)
+        for _ in range(8):
+            neighbor = random_neighbor(path3_instance, rng)
+            other = residual_sensitivity(neighbor, beta)
+            assert other <= base * math.exp(beta) + 1e-9
+            assert other >= base * math.exp(-beta) - 1e-9
+
+    def test_profile_fields(self, path3_instance):
+        profile = residual_sensitivity_profile(path3_instance, 0.5)
+        assert profile.certified
+        assert profile.cutoff >= certified_cutoff(3, 0.5) - 1
+        assert profile.value == pytest.approx(
+            max(
+                math.exp(-0.5 * k) * v for k, v in profile.ls_hat_by_k.items()
+            )
+        )
+        assert profile.maximizing_k in profile.ls_hat_by_k
+
+    def test_explicit_k_max_is_uncertified(self, path3_instance):
+        profile = residual_sensitivity_profile(path3_instance, 0.5, k_max=2)
+        assert not profile.certified
+        assert profile.cutoff == 2
+
+
+class TestCutoffAndMaximizer:
+    def test_certified_cutoff_monotone(self):
+        assert certified_cutoff(3, 0.1) > certified_cutoff(3, 1.0)
+        assert certified_cutoff(5, 0.5) > certified_cutoff(2, 0.5)
+        assert certified_cutoff(1, 0.5) == 1
+
+    def test_maximizer_ignores_excluded_coordinate(self):
+        # Coefficients for a 2-relation query: mass on the excluded index is wasted.
+        coefficients = {
+            frozenset(): 1.0,
+            frozenset({0}): 2.0,
+            frozenset({1}): 3.0,
+            frozenset({0, 1}): 4.0,
+        }
+        value, per_k = maximize_residual_objective(
+            coefficients, (0, 1), excluded_index=0, beta=1.0, total_cap=5
+        )
+        # For i = 0, the objective is e^{-β·s}(T_{1} + s) with T_{1}=3.
+        expected = max(math.exp(-k) * (3 + k) for k in range(6))
+        assert value == pytest.approx(expected)
+        assert per_k[0] == pytest.approx(3.0)
