@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Smoke runner for the benchmark suite.
+
+Run with::
+
+    python benchmarks/run_all.py
+
+Each ``bench_*.py`` script wraps one experiment module; this runner executes
+every underlying experiment at tiny parameterisations (statistical assertions
+are the benchmarks' job — the goal here is that no script can silently rot:
+imports break, signatures drift, result keys disappear).  For every benchmark
+script it
+
+1. imports the script and checks it still defines a ``test_*`` entry point;
+2. runs the wrapped experiment ``run()`` with tiny smoke kwargs;
+3. checks the result carries the ``"table"`` contract every experiment obeys.
+
+The test suite wires this in behind the opt-in ``bench_smoke`` marker
+(``pytest --bench-smoke``), see ``tests/benchmarks/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Iterator
+
+_BENCH_DIR = Path(__file__).resolve().parent
+_SRC = _BENCH_DIR.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import (  # noqa: E402  (path bootstrap must run first)
+    e01_flawed_variants,
+    e02_two_table_scaling,
+    e03_lower_bound_two_table,
+    e04_delta_floor,
+    e05_multi_table,
+    e06_uniformize_two_table,
+    e07_example42,
+    e08_hierarchical,
+    e09_worst_case_agm,
+    e10_conforming,
+    e11_baseline_composition,
+    e12_tpch,
+    e13_single_table_pmw,
+    e14_privacy_audit,
+    e15_evaluator_scaling,
+)
+
+#: benchmark script stem -> (experiment runner, tiny smoke kwargs)
+SMOKE_RUNS: dict[str, tuple] = {
+    "bench_e01_flawed_variants": (
+        e01_flawed_variants.run,
+        dict(n=40, side_domain_size=4, trials=2, seed=0),
+    ),
+    "bench_e02_two_table_scaling": (
+        e02_two_table_scaling.run,
+        dict(num_values_sweep=(2, 4), degree_sweep=(2,), num_queries=6, trials=1, seed=0),
+    ),
+    "bench_e03_lower_bound_two_table": (
+        e03_lower_bound_two_table.run,
+        dict(n=6, domain_size=3, num_queries=4, delta_sweep=(1, 2), seed=0),
+    ),
+    "bench_e04_delta_floor": (
+        e04_delta_floor.run,
+        dict(degree_sweep=(1, 4), num_values=2, trials=2, seed=0),
+    ),
+    "bench_e05_multi_table": (
+        e05_multi_table.run,
+        dict(scale_sweep=(0.25,), num_queries=5, trials=1, seed=0),
+    ),
+    "bench_e06_uniformize_two_table": (
+        e06_uniformize_two_table.run,
+        dict(n_sweep=(16,), num_queries=5, trials=1, seed=0),
+    ),
+    "bench_e07_example42": (
+        e07_example42.run,
+        dict(k_sweep=(4,), num_queries=5, trials=1, seed=0),
+    ),
+    "bench_e08_hierarchical": (
+        e08_hierarchical.run,
+        dict(domain_size=3, num_queries=4, seed=0),
+    ),
+    "bench_e09_worst_case_agm": (
+        e09_worst_case_agm.run,
+        dict(domain_size=4, tuples_per_relation=8, trials=1, seed=0),
+    ),
+    "bench_e10_conforming": (
+        e10_conforming.run,
+        dict(out_vectors=({1: 40},), num_queries=5, trials=1, seed=0),
+    ),
+    "bench_e11_baseline_composition": (
+        e11_baseline_composition.run,
+        dict(workload_sizes=(4, 8), num_join_values=6, tuples_per_relation=40, trials=1, seed=0),
+    ),
+    "bench_e12_tpch": (
+        e12_tpch.run,
+        dict(scale_sweep=(0.25,), num_predicate_queries=4, seed=0),
+    ),
+    "bench_e13_single_table_pmw": (
+        e13_single_table_pmw.run,
+        dict(n_sweep=(30,), domain_shape={"X": 6, "Y": 6}, num_queries=8, trials=1, seed=0),
+    ),
+    "bench_e14_privacy_audit": (
+        e14_privacy_audit.run,
+        dict(trials=10, seed=0),
+    ),
+    "bench_e15_evaluator_scaling": (
+        e15_evaluator_scaling.run,
+        dict(size_a=8, size_b=4, size_c=8, chunk_size=512, eval_repeats=1, seed=0),
+    ),
+}
+
+
+def benchmark_scripts() -> set[str]:
+    """Stems of every ``bench_*.py`` script present in the benchmarks directory."""
+    return {path.stem for path in _BENCH_DIR.glob("bench_*.py")}
+
+
+def check_coverage() -> None:
+    """Fail when a benchmark script has no smoke entry (or an entry is stale)."""
+    scripts = benchmark_scripts()
+    registered = set(SMOKE_RUNS)
+    missing = scripts - registered
+    stale = registered - scripts
+    if missing:
+        raise AssertionError(f"benchmark scripts without a smoke entry: {sorted(missing)}")
+    if stale:
+        raise AssertionError(f"smoke entries without a benchmark script: {sorted(stale)}")
+
+
+def _load_bench_module(name: str):
+    spec = importlib.util.spec_from_file_location(name, _BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def iter_smoke_results() -> Iterator[tuple[str, dict]]:
+    """Execute every benchmark's experiment at smoke size, yielding results."""
+    check_coverage()
+    for name, (runner, kwargs) in sorted(SMOKE_RUNS.items()):
+        module = _load_bench_module(name)
+        entry_points = [attr for attr in dir(module) if attr.startswith("test_")]
+        if not entry_points:
+            raise AssertionError(f"{name}.py defines no test_* entry point")
+        result = runner(**kwargs)
+        if not isinstance(result, dict) or "table" not in result:
+            raise AssertionError(f"{name}: experiment result lost its 'table' contract")
+        yield name, result
+
+
+def main() -> int:
+    for name, _result in iter_smoke_results():
+        print(f"{name}: ok")
+    print(f"{len(SMOKE_RUNS)} benchmark scripts executed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

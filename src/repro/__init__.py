@@ -38,7 +38,12 @@ from repro.relational.instance import Instance
 from repro.relational.join import join_result, join_size
 from repro.queries.linear import ProductQuery, TableQuery, counting_query
 from repro.queries.workload import Workload
-from repro.queries.evaluation import ErrorReport, WorkloadEvaluator
+from repro.queries.evaluation import (
+    ErrorReport,
+    SparseWorkloadEvaluator,
+    WorkloadEvaluator,
+    shared_evaluator,
+)
 from repro.mechanisms.spec import PrivacySpec
 from repro.sensitivity.local import local_sensitivity
 from repro.sensitivity.residual import residual_sensitivity
@@ -65,6 +70,7 @@ __all__ = [
     "Relation",
     "RelationSchema",
     "ReleaseResult",
+    "SparseWorkloadEvaluator",
     "SyntheticDataset",
     "TableQuery",
     "Workload",
@@ -80,6 +86,7 @@ __all__ = [
     "private_multiplicative_weights",
     "release_synthetic_data",
     "residual_sensitivity",
+    "shared_evaluator",
     "single_table_query",
     "star_query",
     "triangle_query",

@@ -15,7 +15,7 @@ import numpy as np
 from repro.mechanisms.laplace import sample_laplace
 from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
-from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.evaluation import shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 from repro.sensitivity.global_bound import global_sensitivity_upper_bound
@@ -55,8 +55,7 @@ def global_sensitivity_answers(
     sensitivity = max(sensitivity, 1.0)
     num_queries = len(workload)
     per_query_epsilon = epsilon / num_queries
-    evaluator = WorkloadEvaluator(workload, materialize=False)
-    true_answers = evaluator.answers_on_instance(instance)
+    true_answers = shared_evaluator(workload).answers_on_instance(instance)
     noise = sample_laplace(sensitivity / per_query_epsilon, size=num_queries, rng=generator)
     return GlobalNoiseResult(
         answers=true_answers + noise,

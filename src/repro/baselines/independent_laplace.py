@@ -27,7 +27,7 @@ from repro.mechanisms.truncated_laplace import (
     truncated_laplace_mechanism,
     truncation_radius,
 )
-from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.evaluation import shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 from repro.sensitivity.local import local_sensitivity
@@ -72,8 +72,7 @@ def independent_laplace_answers(
         sensitivity_bound = rs_value * exp(float(log_noise))
 
     per_query_epsilon = (epsilon / 2.0) / num_queries
-    evaluator = WorkloadEvaluator(workload, materialize=False)
-    true_answers = evaluator.answers_on_instance(instance)
+    true_answers = shared_evaluator(workload).answers_on_instance(instance)
     noise = sample_laplace(
         sensitivity_bound / per_query_epsilon, size=num_queries, rng=generator
     )

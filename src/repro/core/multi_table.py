@@ -20,7 +20,7 @@ from repro.core.synthetic import SyntheticDataset
 from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
 from repro.mechanisms.truncated_laplace import sample_truncated_laplace, truncation_radius
-from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.evaluation import WorkloadEvaluator, shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 from repro.sensitivity.residual import residual_sensitivity
@@ -50,11 +50,10 @@ def multi_table_release(
     sensitivity and (ε/2, δ/2) for the PMW run (Lemma 3.7).
     """
     query = instance.query
-    if workload.join_query is not query and (
-        workload.join_query.relation_names != query.relation_names
-    ):
-        raise ValueError("workload and instance are defined over different join queries")
+    workload.require_compatible(query)
     generator = resolve_rng(rng, seed)
+    if evaluator is None:
+        evaluator = shared_evaluator(workload)
 
     # Line 1: β ← 1/λ.
     if beta is None:

@@ -12,9 +12,24 @@ parameterised — as in the paper — by an externally supplied sensitivity boun
 3. each measurement multiplicatively re-weights the joint-domain histogram,
    and the released synthetic dataset is the average of the iterates.
 
+**Budget split (Lemma 3.2).**  The overall (ε, δ) budget of one PMW
+invocation is divided exactly in half: (ε/2, δ/2) pays for the noisy total
+count of step 1, and the *remaining* (ε/2, δ/2) funds the ``k`` adaptive
+rounds — the iteration count and the per-round ε' are both derived from the
+remaining half, not from the full budget.  When ``PMWConfig.force_total``
+bypasses the noisy total (the flawed Section 3.1 reproductions), no budget is
+spent on step 1 and the rounds draw from the full (ε, δ).  The realised split
+is recorded in ``PMWResult.total_privacy`` / ``PMWResult.rounds_privacy``.
+
 The iteration count defaults to the appendix optimum
-``k* = n̂·ε·√(log |D|) / (Δ̃·log |Q|·√(log 1/δ))`` clamped to a configurable
-range.
+``k* = n̂·ε·√(log |D|) / (Δ̃·log |Q|·√(log 1/δ))`` (evaluated at the rounds
+budget) clamped to a configurable range.
+
+The inner loop never touches full-domain query vectors: scores are computed
+with one batched workload evaluation per round (dense matmul, CSR
+matrix–vector product, or chunked streaming scan depending on the evaluator
+mode) and the multiplicative update rescales only the selected query's cached
+support — the update factor is exactly 1 outside it.
 """
 
 from __future__ import annotations
@@ -29,7 +44,7 @@ from repro.mechanisms.laplace import sample_laplace
 from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
 from repro.mechanisms.truncated_laplace import sample_truncated_laplace, truncation_radius
-from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.evaluation import WorkloadEvaluator, shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 from repro.relational.join import join_size
@@ -64,7 +79,12 @@ class PMWConfig:
 
 @dataclass
 class PMWResult:
-    """Raw output of one PMW run (before being wrapped in a ReleaseResult)."""
+    """Raw output of one PMW run (before being wrapped in a ReleaseResult).
+
+    ``total_privacy`` and ``rounds_privacy`` record how the overall budget was
+    split between the noisy total count and the adaptive rounds (Lemma 3.2);
+    ``total_privacy`` is ``None`` when ``force_total`` bypassed the release.
+    """
 
     histogram: np.ndarray
     noisy_total: float
@@ -73,6 +93,8 @@ class PMWResult:
     epsilon_per_round: float
     selected_queries: list[int] = field(default_factory=list)
     privacy: PrivacySpec | None = None
+    total_privacy: PrivacySpec | None = None
+    rounds_privacy: PrivacySpec | None = None
 
 
 def _auto_iterations(
@@ -123,13 +145,17 @@ def private_multiplicative_weights(
         The query family ``Q`` the synthetic data should answer well.
     epsilon, delta:
         Overall budget of this PMW invocation (the caller is responsible for
-        the budget spent on estimating ``sensitivity_bound``).
+        the budget spent on estimating ``sensitivity_bound``).  Internally
+        split per Lemma 3.2: (ε/2, δ/2) for the noisy total, the remaining
+        (ε/2, δ/2) for the adaptive rounds.
     sensitivity_bound:
         The noisy sensitivity bound ``Δ̃`` — must upper bound the change of any
         workload answer between neighbouring instances.
     evaluator:
-        Optional pre-built :class:`WorkloadEvaluator`; supply one when running
-        PMW repeatedly over the same workload (the uniformized algorithms do).
+        Optional pre-built :class:`WorkloadEvaluator`; by default the shared
+        per-workload evaluator is used, so repeated PMW runs over the same
+        workload (the uniformized algorithms, trial sweeps) reuse its cached
+        matrix or query supports.
     """
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -140,21 +166,27 @@ def private_multiplicative_weights(
     config = config or PMWConfig()
     generator = resolve_rng(rng, seed)
     if evaluator is None:
-        evaluator = WorkloadEvaluator(workload)
+        evaluator = shared_evaluator(workload)
 
     join_query = workload.join_query
     domain_size = join_query.joint_domain_size
 
-    # Step 1: release the total count with one-sided truncated Laplace noise.
+    # Step 1: release the total count with one-sided truncated Laplace noise
+    # ((ε/2, δ/2) of the budget), unless a flawed-baseline override is active.
     true_total = join_size(instance)
     if config.force_total is not None:
         noisy_total = float(config.force_total)
+        total_privacy = None
+        rounds_epsilon, rounds_delta = epsilon, delta
     else:
         radius = truncation_radius(epsilon / 2.0, delta / 2.0, sensitivity_bound)
         noise = sample_truncated_laplace(
             2.0 * sensitivity_bound / epsilon, radius, rng=generator
         )
         noisy_total = float(true_total) + float(noise)
+        total_privacy = PrivacySpec(epsilon / 2.0, delta / 2.0)
+        rounds_epsilon, rounds_delta = epsilon / 2.0, delta / 2.0
+    rounds_privacy = PrivacySpec(rounds_epsilon, rounds_delta)
 
     if noisy_total <= 0:
         histogram = np.zeros(join_query.shape, dtype=float)
@@ -165,20 +197,27 @@ def private_multiplicative_weights(
             iterations=0,
             epsilon_per_round=0.0,
             privacy=PrivacySpec(epsilon, delta),
+            total_privacy=total_privacy,
+            rounds_privacy=rounds_privacy,
         )
 
+    # Step 2: the adaptive rounds draw from the *remaining* budget (Lemma 3.2).
     iterations = _auto_iterations(
         noisy_total,
-        epsilon,
-        delta,
+        rounds_epsilon,
+        rounds_delta,
         sensitivity_bound,
         domain_size,
         len(workload),
         config,
     )
-    epsilon_per_round = epsilon / (16.0 * sqrt(iterations * max(log(1.0 / delta), 1.0)))
+    epsilon_per_round = rounds_epsilon / (
+        16.0 * sqrt(iterations * max(log(1.0 / rounds_delta), 1.0))
+    )
 
-    # Step 2: multiplicative weights over the joint domain.
+    # Step 3: multiplicative weights over the joint domain.  Scores come from
+    # one batched workload evaluation per round; the update rescales only the
+    # selected query's support cells (the factor is exp(0) = 1 elsewhere).
     true_answers = evaluator.answers_on_instance(instance)
     current = np.full(domain_size, noisy_total / domain_size, dtype=float)
     average = np.zeros(domain_size, dtype=float)
@@ -193,10 +232,10 @@ def private_multiplicative_weights(
         measurement = float(true_answers[query_index]) + sample_laplace(
             sensitivity_bound / epsilon_per_round, rng=generator
         )
-        query_values = evaluator.query_values(query_index)
+        support_indices, support_values = evaluator.query_support(query_index)
         step = (measurement - float(current_answers[query_index])) / (2.0 * noisy_total)
-        exponent = np.clip(query_values * step, -config.update_clip, config.update_clip)
-        current = current * np.exp(exponent)
+        exponent = np.clip(support_values * step, -config.update_clip, config.update_clip)
+        current[support_indices] *= np.exp(exponent)
         total = current.sum()
         if total <= 0:
             current = np.full(domain_size, noisy_total / domain_size, dtype=float)
@@ -213,4 +252,6 @@ def private_multiplicative_weights(
         epsilon_per_round=epsilon_per_round,
         selected_queries=selected,
         privacy=PrivacySpec(epsilon, delta),
+        total_privacy=total_privacy,
+        rounds_privacy=rounds_privacy,
     )

@@ -22,7 +22,7 @@ from repro.core.two_table import two_table_release
 from repro.core.uniformize import uniformize_release
 from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
-from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.evaluation import WorkloadEvaluator, shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 
@@ -48,6 +48,9 @@ def _single_table_release(
     pmw_config: PMWConfig | None,
 ) -> ReleaseResult:
     """Theorem 1.3: the single-table case has sensitivity one."""
+    workload.require_compatible(instance.query)
+    if evaluator is None:
+        evaluator = shared_evaluator(workload)
     pmw = private_multiplicative_weights(
         instance,
         workload,

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.core.synthetic import SyntheticDataset
 from repro.mechanisms.spec import PrivacySpec
-from repro.queries.evaluation import ErrorReport, WorkloadEvaluator
+from repro.queries.evaluation import ErrorReport, shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 
@@ -41,8 +41,7 @@ class ReleaseResult:
 
     def error_report(self, instance: Instance, workload: Workload) -> ErrorReport:
         """Compare released answers with the exact answers on ``instance``."""
-        evaluator = WorkloadEvaluator(workload, materialize=False)
-        true_answers = evaluator.answers_on_instance(instance)
+        true_answers = shared_evaluator(workload).answers_on_instance(instance)
         released = self.synthetic.answer_workload(workload)
         return ErrorReport.from_answers(true_answers, released, workload.names())
 

@@ -17,7 +17,7 @@ from repro.core.synthetic import SyntheticDataset
 from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
 from repro.mechanisms.truncated_laplace import truncated_laplace_mechanism
-from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.evaluation import WorkloadEvaluator, shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 from repro.sensitivity.local import local_sensitivity
@@ -44,11 +44,10 @@ def two_table_release(
         raise ValueError(
             f"two_table_release expects exactly two relations, got {query.num_relations}"
         )
-    if workload.join_query is not query and (
-        workload.join_query.relation_names != query.relation_names
-    ):
-        raise ValueError("workload and instance are defined over different join queries")
+    workload.require_compatible(query)
     generator = resolve_rng(rng, seed)
+    if evaluator is None:
+        evaluator = shared_evaluator(workload)
 
     # Line 1: Δ̃ ← Δ + TLap — the global sensitivity of LS_count is one for
     # two-table joins, so sensitivity-1 noise suffices.

@@ -30,7 +30,7 @@ from repro.core.two_table import two_table_release
 from repro.mechanisms.composition import basic_composition, group_privacy
 from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
-from repro.queries.evaluation import WorkloadEvaluator
+from repro.queries.evaluation import WorkloadEvaluator, shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 
@@ -60,6 +60,7 @@ def uniformize_release(
         The bucketing scale λ; defaults to ``(1/ε)·log(1/δ)``.
     """
     query = instance.query
+    workload.require_compatible(query)
     generator = resolve_rng(rng, seed)
     if lam is None:
         # The bucket grid must be at least as coarse as the partition noise
@@ -68,7 +69,7 @@ def uniformize_release(
         # partition fragments needlessly.
         lam = default_lambda(epsilon / 2.0, delta / 2.0)
     if evaluator is None:
-        evaluator = WorkloadEvaluator(workload)
+        evaluator = shared_evaluator(workload)
     if method == "auto":
         method = "two_table" if query.num_relations == 2 else "hierarchical"
     if method not in ("two_table", "hierarchical"):

@@ -24,6 +24,7 @@ from repro.experiments import (
     e12_tpch,
     e13_single_table_pmw,
     e14_privacy_audit,
+    e15_evaluator_scaling,
 )
 
 EXPERIMENTS = {
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "e12": e12_tpch.run,
     "e13": e13_single_table_pmw.run,
     "e14": e14_privacy_audit.run,
+    "e15": e15_evaluator_scaling.run,
 }
 
 DESCRIPTIONS = {
@@ -58,6 +60,7 @@ DESCRIPTIONS = {
     "e12": "TPC-H-style end-to-end workloads",
     "e13": "Theorem 1.3 — single-table PMW sanity",
     "e14": "Lemmas 3.2/3.7/4.1 — empirical privacy audit",
+    "e15": "Workload-evaluation engine scaling — dense vs sparse vs streaming",
 }
 
 __all__ = ["EXPERIMENTS", "DESCRIPTIONS"]

@@ -12,15 +12,18 @@ from repro.queries.linear import ProductQuery, TableQuery, all_one_query, counti
 from repro.queries.workload import Workload
 from repro.queries.evaluation import (
     ErrorReport,
+    SparseWorkloadEvaluator,
     WorkloadEvaluator,
     evaluate_workload_on_histogram,
     evaluate_workload_on_instance,
     max_error,
+    shared_evaluator,
 )
 
 __all__ = [
     "ErrorReport",
     "ProductQuery",
+    "SparseWorkloadEvaluator",
     "TableQuery",
     "Workload",
     "WorkloadEvaluator",
@@ -29,4 +32,5 @@ __all__ = [
     "evaluate_workload_on_histogram",
     "evaluate_workload_on_instance",
     "max_error",
+    "shared_evaluator",
 ]

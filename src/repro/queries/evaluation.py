@@ -1,13 +1,46 @@
 """Exact workload evaluation and error reporting.
 
-:class:`WorkloadEvaluator` pre-computes (when memory allows) the flattened
-query-value matrix over the joint domain so that the PMW iterations and the
-error reports can evaluate the whole workload against a histogram with a
-single matrix-vector product.
+:class:`WorkloadEvaluator` answers a whole workload against instances and
+joint-domain histograms.  Three interchangeable evaluation modes trade memory
+for speed; all of them sit behind the same interface so the release
+algorithms never care which one is active:
+
+``dense``
+    Pre-computes the full ``|Q| × |D|`` float64 query matrix so every
+    workload evaluation is a single matrix–vector product.  Fastest per
+    evaluation, but the matrix costs ``8·|Q|·|D|`` bytes.
+``sparse``
+    Stores one CSR-style ``(indices, values)`` support per query — only the
+    joint-domain cells where the query value is non-zero.  Supports are
+    built lazily (chunked when even one dense joint vector would be large)
+    and evaluations run as a batched sparse matrix–vector product.  Memory
+    is ``O(Σ_q nnz(q))`` instead of ``O(|Q|·|D|)``; threshold/marginal
+    workloads are overwhelmingly sparse, so this is usually a large
+    reduction.
+``streaming``
+    Holds no per-query state at all: evaluations scan the joint domain in
+    fixed-size chunks and recompute query values on the fly from the
+    per-relation weight arrays.  Slowest, but the extra memory is bounded
+    by the chunk size regardless of ``|Q|`` or ``|D|``.
+
+The default (``mode="auto"``) measures the exact support size of every query
+(an einsum over the non-zero indicators of the per-relation weights, never
+materialising the joint domain) and picks the cheapest mode that fits the
+configured cell budgets: dense while ``|Q|·|D|`` stays under
+``_MATRIX_CELL_BUDGET``, sparse while the total support fits
+``_SPARSE_CELL_BUDGET``, and streaming otherwise.  The choice (and any
+dense matrix build) is deferred until the first histogram evaluation or
+support request, so instance-only consumers pay nothing for it.
+
+:func:`shared_evaluator` memoises one evaluator per workload (weakly keyed),
+so repeated release invocations over the same workload — the uniformized
+algorithms, the baselines, parameter sweeps — reuse the cached supports
+instead of rebuilding them.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -15,8 +48,22 @@ import numpy as np
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 
-#: Above this many matrix cells the evaluator falls back to per-query loops.
+#: Above this many dense matrix cells (``|Q|·|D|``) the evaluator stops
+#: materialising the full query matrix.
 _MATRIX_CELL_BUDGET = 60_000_000
+
+#: Above this many total support entries the sparse form is abandoned for
+#: chunked streaming (each entry stores an int64 index and a float64 value).
+_SPARSE_CELL_BUDGET = 30_000_000
+
+#: Supports are extracted from a dense per-query joint vector while ``|D|``
+#: stays under this budget; larger domains are scanned chunk by chunk.
+_DENSE_BUILD_BUDGET = 4_000_000
+
+#: Default joint-domain chunk length for streaming scans.
+_DEFAULT_CHUNK_SIZE = 1 << 18
+
+_MODES = ("auto", "dense", "sparse", "streaming")
 
 
 @dataclass(frozen=True)
@@ -37,6 +84,11 @@ class ErrorReport:
         released_answers = np.asarray(released_answers, dtype=float)
         if true_answers.shape != released_answers.shape:
             raise ValueError("answer vectors must have the same shape")
+        if names and len(names) != true_answers.size:
+            raise ValueError(
+                f"got {len(names)} query names for {true_answers.size} answers; "
+                "names must be empty or match the answer vector length"
+            )
         errors = np.abs(true_answers - released_answers)
         worst_index = int(np.argmax(errors)) if errors.size else 0
         return cls(
@@ -63,24 +115,91 @@ class WorkloadEvaluator:
     workload:
         The query family.
     materialize:
-        Force (True) or forbid (False) building the dense query matrix; by
-        default the evaluator materialises it whenever
-        ``|Q| · |D|`` stays under a fixed cell budget.
+        Legacy switch: ``True`` forces the dense matrix, ``False`` forbids it
+        (auto-picking between the sparse and streaming forms).  Superseded
+        by ``mode``.
+    mode:
+        One of ``"auto"``, ``"dense"``, ``"sparse"``, ``"streaming"``; see the
+        module docstring for the trade-offs.  ``"auto"`` (the default)
+        measures query support sizes and picks the cheapest mode that fits
+        the cell budgets.
+    cell_budget / sparse_cell_budget:
+        Override the dense-matrix and total-support budgets used by the
+        automatic mode choice.
+    chunk_size:
+        Joint-domain chunk length used by streaming scans and chunked
+        support construction.
     """
 
-    def __init__(self, workload: Workload, materialize: bool | None = None):
+    def __init__(
+        self,
+        workload: Workload,
+        materialize: bool | None = None,
+        *,
+        mode: str | None = None,
+        cell_budget: int = _MATRIX_CELL_BUDGET,
+        sparse_cell_budget: int = _SPARSE_CELL_BUDGET,
+        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+    ):
+        if mode is None:
+            if materialize is True:
+                mode = "dense"
+            elif materialize is False:
+                # Legacy "never materialise": auto-pick among the memory-bounded
+                # modes (sparse while the measured support fits, else streaming).
+                mode = "auto"
+                cell_budget = 0
+            else:
+                mode = "auto"
+        if mode not in _MODES:
+            raise ValueError(f"unknown evaluator mode {mode!r}; expected one of {_MODES}")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self._workload = workload
         self._join_query = workload.join_query
+        self._shape = self._join_query.shape
         self._domain_size = self._join_query.joint_domain_size
-        cells = len(workload) * self._domain_size
-        if materialize is None:
-            materialize = cells <= _MATRIX_CELL_BUDGET
+        self._cell_budget = int(cell_budget)
+        self._sparse_cell_budget = int(sparse_cell_budget)
+        self._chunk_size = int(chunk_size)
         self._matrix: np.ndarray | None = None
-        if materialize:
-            matrix = np.empty((len(workload), self._domain_size), dtype=np.float64)
-            for row, query in enumerate(workload):
-                matrix[row] = query.joint_values().reshape(-1)
-            self._matrix = matrix
+        self._supports: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._support_sizes: dict[int, int] = {}
+        self._cached_support_entries = 0
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._chunk_plans: dict[int, tuple[tuple[tuple[int, ...], np.ndarray], ...]] = {}
+        # "auto" is resolved lazily on first histogram/support use:
+        # instance-only consumers (answers_on_instance) never pay for the
+        # support measurement or the dense matrix build.
+        self._mode: str | None = None if mode == "auto" else mode
+        if self._mode == "dense":
+            self._build_matrix()
+
+    # ------------------------------------------------------------------ #
+    # mode selection
+    # ------------------------------------------------------------------ #
+    def _build_matrix(self) -> None:
+        matrix = np.empty((len(self._workload), self._domain_size), dtype=np.float64)
+        for row, query in enumerate(self._workload):
+            matrix[row] = query.joint_values().reshape(-1)
+        self._matrix = matrix
+
+    def _resolve_mode(self) -> str:
+        if self._mode is None:
+            self._mode = self._choose_mode()
+            if self._mode == "dense":
+                self._build_matrix()
+        return self._mode
+
+    def _choose_mode(self) -> str:
+        if len(self._workload) * self._domain_size <= self._cell_budget:
+            return "dense"
+        total = 0
+        for index in range(len(self._workload)):
+            total += self.support_size(index)
+            if total > self._sparse_cell_budget:
+                return "streaming"
+        return "sparse"
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -98,20 +217,166 @@ class WorkloadEvaluator:
         return self._domain_size
 
     @property
+    def mode(self) -> str:
+        return self._resolve_mode()
+
+    @property
     def has_matrix(self) -> bool:
         return self._matrix is not None
 
+    def support_size(self, index: int) -> int:
+        """Exact number of joint-domain cells where query ``index`` is non-zero.
+
+        Computed by an einsum over the non-zero indicators of the per-relation
+        weight arrays — the joint domain is never materialised, so this is
+        cheap even when ``|D|`` is enormous.
+        """
+        cached = self._support_sizes.get(index)
+        if cached is not None:
+            return cached
+        from repro.relational.join import _letters_for
+
+        letters = _letters_for(self._join_query)
+        operands = []
+        terms = []
+        for schema, table_query in zip(
+            self._join_query.relations, self._workload[index].table_queries
+        ):
+            operands.append((table_query.weights != 0.0).astype(np.int64))
+            terms.append("".join(letters[name] for name in schema.attribute_names))
+        subscript = ",".join(terms) + "->"
+        size = int(np.einsum(subscript, *operands))
+        self._support_sizes[index] = size
+        return size
+
+    def total_support_size(self) -> int:
+        """``Σ_q nnz(q)``: the number of entries the sparse form stores."""
+        return sum(self.support_size(index) for index in range(len(self._workload)))
+
+    # ------------------------------------------------------------------ #
+    # query supports
+    # ------------------------------------------------------------------ #
+    def query_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style ``(flat indices, values)`` support of one query.
+
+        Built lazily and cached; in dense mode it is read off the matrix row.
+        The PMW multiplicative update touches only these cells (the update
+        factor is exactly 1 everywhere else).
+        """
+        cached = self._supports.get(index)
+        if cached is not None:
+            return cached
+        mode = self._resolve_mode()
+        if self._matrix is not None:
+            row = self._matrix[index]
+            indices = np.flatnonzero(row)
+            support = (indices.astype(np.int64), row[indices])
+        elif self._domain_size <= _DENSE_BUILD_BUDGET:
+            values = self._workload[index].joint_values().reshape(-1)
+            indices = np.flatnonzero(values)
+            support = (indices.astype(np.int64), values[indices])
+        else:
+            index_parts: list[np.ndarray] = []
+            value_parts: list[np.ndarray] = []
+            for start in range(0, self._domain_size, self._chunk_size):
+                stop = min(start + self._chunk_size, self._domain_size)
+                values = self._values_on_chunk(index, start, stop)
+                nonzero = np.flatnonzero(values)
+                if nonzero.size:
+                    index_parts.append(nonzero.astype(np.int64) + start)
+                    value_parts.append(values[nonzero])
+            if index_parts:
+                support = (np.concatenate(index_parts), np.concatenate(value_parts))
+            else:
+                support = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        # Sparse mode stores supports as its primary representation; dense and
+        # streaming modes only *cache* them (the matrix row / chunked scan can
+        # always recompute one), so their caches stay within the sparse budget
+        # — streaming keeps its bounded-memory guarantee and dense-mode PMW
+        # runs cannot duplicate a near-budget matrix into redundant supports.
+        size = int(support[0].size)
+        if mode == "sparse" or self._cached_support_entries + size <= self._sparse_cell_budget:
+            self._supports[index] = support
+            self._cached_support_entries += size
+        self._support_sizes.setdefault(index, size)
+        return support
+
     def query_values(self, index: int) -> np.ndarray:
-        """Flattened joint-domain value vector of one query."""
+        """Flattened joint-domain value vector of one query (dense)."""
         if self._matrix is not None:
             return self._matrix[index]
         return self._workload[index].joint_values().reshape(-1)
+
+    def _chunk_plan(self, index: int) -> tuple[tuple[tuple[int, ...], np.ndarray], ...]:
+        """Per-relation ``(joint axes, weights)`` gather plan, all-one factors elided."""
+        cached = self._chunk_plans.get(index)
+        if cached is not None:
+            return cached
+        plan: list[tuple[tuple[int, ...], np.ndarray]] = []
+        for schema, table_query in zip(
+            self._join_query.relations, self._workload[index].table_queries
+        ):
+            if table_query.is_all_one():
+                continue
+            axes = tuple(self._join_query.axis_of(name) for name in schema.attribute_names)
+            plan.append((axes, table_query.weights))
+        result = tuple(plan)
+        self._chunk_plans[index] = result
+        return result
+
+    def _values_on_chunk(
+        self,
+        index: int,
+        start: int,
+        stop: int,
+        multi: tuple[np.ndarray, ...] | None = None,
+    ) -> np.ndarray:
+        """Query values on the flat joint-domain index range ``[start, stop)``.
+
+        ``multi`` lets callers that scan many queries over the same chunk
+        share one flat-to-multi index decode.
+        """
+        if multi is None:
+            multi = np.unravel_index(np.arange(start, stop, dtype=np.int64), self._shape)
+        values = np.ones(stop - start, dtype=np.float64)
+        for axes, weights in self._chunk_plan(index):
+            values = values * weights[tuple(multi[axis] for axis in axes)]
+        return values
+
+    def _ensure_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated ``(row ids, indices, values)`` of all query supports."""
+        if self._csr is None:
+            supports = [self.query_support(index) for index in range(len(self._workload))]
+            counts = np.array([indices.size for indices, _ in supports], dtype=np.int64)
+            row_ids = np.repeat(np.arange(len(supports), dtype=np.int64), counts)
+            indices = (
+                np.concatenate([s[0] for s in supports])
+                if supports
+                else np.empty(0, dtype=np.int64)
+            )
+            values = (
+                np.concatenate([s[1] for s in supports])
+                if supports
+                else np.empty(0, dtype=np.float64)
+            )
+            # Re-point the per-query cache at zero-copy slices of the
+            # concatenated arrays so both representations share storage.
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            for index in range(len(supports)):
+                lo, hi = int(offsets[index]), int(offsets[index + 1])
+                self._supports[index] = (indices[lo:hi], values[lo:hi])
+            self._csr = (row_ids, indices, values)
+        return self._csr
 
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
     def answers_on_instance(self, instance: Instance) -> np.ndarray:
-        """Exact answers ``q(I)`` for every workload query."""
+        """Exact answers ``q(I)`` for every workload query.
+
+        Evaluated by einsum over the per-relation arrays — identical across
+        all evaluator modes.
+        """
         return np.array([query.evaluate(instance) for query in self._workload], dtype=float)
 
     def answers_on_histogram(self, histogram: np.ndarray) -> np.ndarray:
@@ -121,17 +386,97 @@ class WorkloadEvaluator:
             raise ValueError(
                 f"histogram has {flat.size} cells, expected {self._domain_size}"
             )
+        mode = self._resolve_mode()
         if self._matrix is not None:
             return self._matrix @ flat
-        return np.array(
-            [query.evaluate_on_histogram(np.asarray(histogram, dtype=float)) for query in self._workload],
-            dtype=float,
-        )
+        if mode == "sparse":
+            row_ids, indices, values = self._ensure_csr()
+            return np.bincount(
+                row_ids, weights=values * flat[indices], minlength=len(self._workload)
+            )
+        answers = np.zeros(len(self._workload), dtype=np.float64)
+        for start in range(0, self._domain_size, self._chunk_size):
+            stop = min(start + self._chunk_size, self._domain_size)
+            chunk = flat[start:stop]
+            multi = np.unravel_index(np.arange(start, stop, dtype=np.int64), self._shape)
+            for index in range(len(self._workload)):
+                answers[index] += float(
+                    self._values_on_chunk(index, start, stop, multi=multi) @ chunk
+                )
+        return answers
 
     def error_report(self, instance: Instance, histogram: np.ndarray) -> ErrorReport:
         true_answers = self.answers_on_instance(instance)
         released = self.answers_on_histogram(histogram)
         return ErrorReport.from_answers(true_answers, released, self._workload.names())
+
+
+class SparseWorkloadEvaluator(WorkloadEvaluator):
+    """A :class:`WorkloadEvaluator` that never builds the dense matrix.
+
+    Picks the sparse CSR form while the measured total support fits the
+    sparse cell budget and falls back to chunked streaming beyond it —
+    i.e. ``mode="auto"`` with the dense option removed.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        sparse_cell_budget: int = _SPARSE_CELL_BUDGET,
+        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+    ):
+        super().__init__(
+            workload,
+            mode="auto",
+            cell_budget=0,
+            sparse_cell_budget=sparse_cell_budget,
+            chunk_size=chunk_size,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# shared evaluator cache
+# ---------------------------------------------------------------------- #
+_SHARED_EVALUATORS: "weakref.WeakKeyDictionary[Workload, WorkloadEvaluator]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def auto_evaluator_mode(
+    workload: Workload,
+    *,
+    cell_budget: int = _MATRIX_CELL_BUDGET,
+    sparse_cell_budget: int = _SPARSE_CELL_BUDGET,
+) -> str:
+    """The mode ``mode="auto"`` would pick, without building any backend.
+
+    Runs only the support-size measurement (einsum counts) — no dense matrix,
+    no supports; useful for planning and reporting.
+    """
+    probe = WorkloadEvaluator(
+        workload,
+        mode="streaming",
+        cell_budget=cell_budget,
+        sparse_cell_budget=sparse_cell_budget,
+    )
+    return probe._choose_mode()
+
+
+def shared_evaluator(workload: Workload) -> WorkloadEvaluator:
+    """One cached auto-mode evaluator per workload (weakly keyed).
+
+    The release algorithms and baselines call this instead of constructing a
+    fresh :class:`WorkloadEvaluator` per invocation, so repeated releases
+    over the same workload — uniformized per-bucket runs, trial sweeps, the
+    baselines — share the dense matrix or cached query supports.  The cache
+    holds no strong reference: evaluators die with their workloads.
+    """
+    evaluator = _SHARED_EVALUATORS.get(workload)
+    if evaluator is None:
+        evaluator = WorkloadEvaluator(workload)
+        _SHARED_EVALUATORS[workload] = evaluator
+    return evaluator
 
 
 def evaluate_workload_on_instance(workload: Workload, instance: Instance) -> np.ndarray:

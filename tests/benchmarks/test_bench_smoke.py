@@ -1,0 +1,46 @@
+"""Opt-in smoke execution of every benchmark script (``--bench-smoke``).
+
+The benchmark suite lives outside the default test collection (the scripts
+take minutes at full size), which historically lets them rot silently.  These
+tests drive ``benchmarks/run_all.py``: every ``bench_*.py`` must have a
+registered tiny-size smoke configuration, still define a ``test_*`` entry
+point, and its experiment must execute and honour the ``"table"`` result
+contract.
+
+Run with::
+
+    pytest tests/benchmarks --bench-smoke
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench_smoke
+
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load_run_all():
+    spec = importlib.util.spec_from_file_location("run_all", _BENCH_DIR / "run_all.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_benchmark_script_has_a_smoke_entry():
+    run_all = _load_run_all()
+    run_all.check_coverage()
+    assert set(run_all.SMOKE_RUNS) == run_all.benchmark_scripts()
+
+
+def test_all_benchmark_scripts_execute():
+    run_all = _load_run_all()
+    executed = []
+    for name, result in run_all.iter_smoke_results():
+        executed.append(name)
+        assert "table" in result
+    assert sorted(executed) == sorted(run_all.SMOKE_RUNS)

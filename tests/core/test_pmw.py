@@ -106,6 +106,99 @@ class TestBasicProperties:
             private_multiplicative_weights(instance, workload, 1.0, 1e-5, 0.0)
 
 
+class TestBudgetSplit:
+    """Lemma 3.2: the noisy total and the adaptive rounds each get (ε/2, δ/2)."""
+
+    def test_split_recorded_in_result(self, instance, query):
+        workload = Workload.counting(query)
+        epsilon, delta = 1.0, 1e-5
+        result = private_multiplicative_weights(
+            instance, workload, epsilon, delta, 2.0, seed=0
+        )
+        assert result.privacy.epsilon == epsilon
+        assert result.privacy.delta == delta
+        assert result.total_privacy.epsilon == pytest.approx(epsilon / 2.0)
+        assert result.total_privacy.delta == pytest.approx(delta / 2.0)
+        assert result.rounds_privacy.epsilon == pytest.approx(epsilon / 2.0)
+        assert result.rounds_privacy.delta == pytest.approx(delta / 2.0)
+
+    def test_epsilon_per_round_drawn_from_remaining_half(self, instance, query):
+        from math import log, sqrt
+
+        workload = Workload.random_sign(query, 10, seed=0)
+        epsilon, delta = 1.0, 1e-5
+        result = private_multiplicative_weights(
+            instance, workload, epsilon, delta, 2.0, seed=1
+        )
+        expected = (epsilon / 2.0) / (
+            16.0 * sqrt(result.iterations * max(log(2.0 / delta), 1.0))
+        )
+        assert result.epsilon_per_round == pytest.approx(expected)
+
+    def test_forced_total_spends_no_budget_on_step_one(self, instance, query):
+        from math import log, sqrt
+
+        workload = Workload.counting(query)
+        epsilon, delta = 1.0, 1e-5
+        config = PMWConfig(force_total=50.0, num_iterations=4)
+        result = private_multiplicative_weights(
+            instance, workload, epsilon, delta, 1.0, seed=0, config=config
+        )
+        assert result.total_privacy is None
+        assert result.rounds_privacy.epsilon == pytest.approx(epsilon)
+        assert result.rounds_privacy.delta == pytest.approx(delta)
+        expected = epsilon / (16.0 * sqrt(4 * max(log(1.0 / delta), 1.0)))
+        assert result.epsilon_per_round == pytest.approx(expected)
+
+    def test_split_recorded_on_nonpositive_total(self, query):
+        workload = Workload.counting(query)
+        result = private_multiplicative_weights(
+            Instance.empty(query),
+            workload,
+            1.0,
+            1e-5,
+            1.0,
+            seed=1,
+            config=PMWConfig(force_total=0.0),
+        )
+        assert result.iterations == 0
+        assert result.rounds_privacy is not None
+
+
+class TestEvaluatorModeParity:
+    """The quickstart workload must select identical queries in every mode."""
+
+    @staticmethod
+    def _quickstart_setup():
+        query = two_table_query(30, 6, 5, names=("Customers", "Orders"))
+        rng = np.random.default_rng(0)
+        customers = [(int(rng.integers(30)), int(rng.integers(6))) for _ in range(120)]
+        orders = [(int(rng.integers(6)), int(rng.integers(5))) for _ in range(150)]
+        instance = Instance.from_tuple_lists(
+            query, {"Customers": customers, "Orders": orders}
+        )
+        workload = Workload.attribute_marginals(query, "B").extended(
+            Workload.random_sign(query, 16, seed=1, include_counting=False).queries
+        )
+        return instance, workload
+
+    def test_selections_bitwise_identical_across_modes(self):
+        instance, workload = self._quickstart_setup()
+        results = {}
+        for mode in ("dense", "sparse", "streaming"):
+            evaluator = WorkloadEvaluator(workload, mode=mode, chunk_size=128)
+            results[mode] = private_multiplicative_weights(
+                instance, workload, 1.0, 1e-5, 2.0, seed=42, evaluator=evaluator
+            )
+        reference = results["dense"]
+        assert reference.selected_queries  # the run actually iterated
+        for mode, result in results.items():
+            assert result.selected_queries == reference.selected_queries, mode
+            assert result.noisy_total == reference.noisy_total
+            scale = max(1.0, float(np.abs(reference.histogram).max()))
+            assert np.max(np.abs(result.histogram - reference.histogram)) <= 1e-9 * scale
+
+
 class TestUtility:
     def test_learns_marginals_on_moderate_instance(self):
         """With a generous budget, PMW should answer marginals better than the

@@ -126,6 +126,61 @@ class TestMultiTableRelease:
         assert result.synthetic.histogram.shape == figure4_instance.query.shape
 
 
+class TestWorkloadInstanceCompatibility:
+    """Mismatched workload/instance join queries must fail fast and clearly.
+
+    Sharing relation names is not enough: mismatched attribute domains used
+    to slip through to a shape error (or silent misevaluation) deep inside
+    PMW.
+    """
+
+    @staticmethod
+    def _mismatched_pair():
+        # Same relation and attribute names, different B domain size.
+        workload_query = two_table_query(5, 4, 5)
+        instance_query = two_table_query(5, 6, 5)
+        workload = Workload.counting(workload_query)
+        instance = Instance.from_tuple_lists(
+            instance_query, {"R1": [(0, 0)], "R2": [(0, 0)]}
+        )
+        return workload, instance
+
+    def test_two_table_rejects_mismatched_domains(self):
+        workload, instance = self._mismatched_pair()
+        with pytest.raises(ValueError, match="domain of attribute"):
+            two_table_release(instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST)
+
+    def test_multi_table_rejects_mismatched_domains(self):
+        workload, instance = self._mismatched_pair()
+        with pytest.raises(ValueError, match="domain of attribute"):
+            multi_table_release(instance, workload, 1.0, 1e-3, seed=0, pmw_config=FAST)
+
+    def test_uniformize_rejects_mismatched_domains(self):
+        from repro.core.uniformize import uniformize_release
+
+        workload, instance = self._mismatched_pair()
+        with pytest.raises(ValueError, match="domain of attribute"):
+            uniformize_release(instance, workload, 1.0, 1e-3, seed=0, pmw_config=FAST)
+
+    def test_mismatched_relation_names_still_rejected(self, two_table_instance):
+        other_query = two_table_query(5, 4, 5, names=("S1", "S2"))
+        workload = Workload.counting(other_query)
+        with pytest.raises(ValueError, match="different join queries"):
+            two_table_release(
+                two_table_instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST
+            )
+
+    def test_equal_structure_is_accepted(self, two_table_instance):
+        # A workload built over a *distinct but structurally identical* join
+        # query object must keep working (the seed relied on this).
+        twin_query = two_table_query(5, 4, 5)
+        workload = Workload.counting(twin_query)
+        result = two_table_release(
+            two_table_instance, workload, 1.0, 1e-5, seed=0, pmw_config=FAST
+        )
+        assert result.algorithm == "two_table"
+
+
 class TestReleaseDispatch:
     def test_auto_single_table(self):
         query = single_table_query({"X": 4, "Y": 3})

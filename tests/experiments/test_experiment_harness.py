@@ -26,13 +26,14 @@ from repro.experiments import (
     e12_tpch,
     e13_single_table_pmw,
     e14_privacy_audit,
+    e15_evaluator_scaling,
 )
 
 
 class TestRegistry:
     def test_all_experiments_registered_and_described(self):
         assert set(EXPERIMENTS) == set(DESCRIPTIONS)
-        assert len(EXPERIMENTS) == 14
+        assert len(EXPERIMENTS) == 15
         for name, runner in EXPERIMENTS.items():
             assert callable(runner), name
 
@@ -151,3 +152,17 @@ class TestIndividualExperiments:
         # Loose sanity bound: with few trials the estimator is noisy, but it
         # should never be wildly above the declared ε.
         assert result["empirical_epsilon"] <= 5.0 * result["declared_epsilon"] + 1.0
+
+    def test_e15_evaluator_scaling(self):
+        result = e15_evaluator_scaling.run(
+            size_a=8, size_b=4, size_c=8, chunk_size=512, eval_repeats=1, seed=0
+        )
+        assert {row["mode"] for row in result["rows"]} == {
+            "dense",
+            "sparse",
+            "streaming",
+        }
+        # All three backends agree with the dense reference.
+        for row in result["rows"]:
+            assert row["answers_match"], row
+        assert result["dense_cells"] == result["num_queries"] * result["domain_size"]

@@ -181,6 +181,23 @@ class TestErrorReport:
         with pytest.raises(ValueError):
             ErrorReport.from_answers(np.array([1.0]), np.array([1.0, 2.0]), ("a",))
 
+    def test_names_length_mismatch_is_a_clear_error(self):
+        # A short names tuple used to raise IndexError (or silently mislabel
+        # the worst query when the worst index happened to be in range).
+        with pytest.raises(ValueError, match="names"):
+            ErrorReport.from_answers(
+                np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0, 9.0]), ("a", "b")
+            )
+        with pytest.raises(ValueError, match="names"):
+            ErrorReport.from_answers(
+                np.array([1.0]), np.array([1.0]), ("a", "b", "c")
+            )
+
+    def test_empty_names_are_allowed(self):
+        report = ErrorReport.from_answers(np.array([1.0]), np.array([3.0]), ())
+        assert report.worst_query == ""
+        assert report.max_abs_error == pytest.approx(2.0)
+
     def test_str(self):
         report = ErrorReport.from_answers(np.array([1.0]), np.array([2.0]), ("q",))
         assert "max=1.000" in str(report)
