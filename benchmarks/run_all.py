@@ -13,7 +13,10 @@ script it
 
 1. imports the script and checks it still defines a ``test_*`` entry point;
 2. runs the wrapped experiment ``run()`` with tiny smoke kwargs;
-3. checks the result carries the ``"table"`` contract every experiment obeys.
+3. checks the result carries the ``"table"`` contract every experiment obeys;
+4. writes a machine-readable ``results/BENCH_<id>.json`` (wall time, peak
+   traced memory, evaluation backend) so the performance trajectory can be
+   tracked across PRs.
 
 The test suite wires this in behind the opt-in ``bench_smoke`` marker
 (``pytest --bench-smoke``), see ``tests/benchmarks/test_bench_smoke.py``.
@@ -22,7 +25,10 @@ The test suite wires this in behind the opt-in ``bench_smoke`` marker
 from __future__ import annotations
 
 import importlib.util
+import json
 import sys
+import time
+import tracemalloc
 from pathlib import Path
 from typing import Iterator
 
@@ -47,7 +53,12 @@ from repro.experiments import (  # noqa: E402  (path bootstrap must run first)
     e13_single_table_pmw,
     e14_privacy_audit,
     e15_evaluator_scaling,
+    e16_sharded_evaluation,
 )
+from repro.queries.evaluation import get_default_backend  # noqa: E402
+
+#: Where the per-benchmark ``BENCH_<id>.json`` records land by default.
+_RESULTS_DIR = _BENCH_DIR / "results"
 
 #: benchmark script stem -> (experiment runner, tiny smoke kwargs)
 SMOKE_RUNS: dict[str, tuple] = {
@@ -111,6 +122,20 @@ SMOKE_RUNS: dict[str, tuple] = {
         e15_evaluator_scaling.run,
         dict(size_a=8, size_b=4, size_c=8, chunk_size=512, eval_repeats=1, seed=0),
     ),
+    "bench_e16_sharded_evaluation": (
+        e16_sharded_evaluation.run,
+        dict(
+            size_a=8,
+            size_b=4,
+            size_c=8,
+            workers=2,
+            eval_repeats=1,
+            pmw_rounds=2,
+            tuples_per_relation=60,
+            chunk_size=256,
+            seed=0,
+        ),
+    ),
 }
 
 
@@ -138,17 +163,58 @@ def _load_bench_module(name: str):
     return module
 
 
-def iter_smoke_results() -> Iterator[tuple[str, dict]]:
-    """Execute every benchmark's experiment at smoke size, yielding results."""
+def write_bench_record(name: str, result: dict, wall_seconds: float, peak_mib: float, json_dir: Path) -> Path:
+    """Write one machine-readable ``BENCH_<id>.json`` performance record.
+
+    The record carries the numbers the perf trajectory is tracked by across
+    PRs: wall time, peak traced memory, and the evaluation backend — the
+    concrete backend the experiment reports having used (``backend``, or the
+    resolved ``auto_mode`` choice), falling back to the configured process
+    default (which may be the literal ``"auto"``) for experiments that do
+    not report one.
+    """
+    json_dir.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "experiment": name.removeprefix("bench_").split("_")[0],
+        "wall_seconds": round(wall_seconds, 6),
+        "peak_mib": round(peak_mib, 3),
+        "backend": result.get("backend")
+        or result.get("auto_mode")
+        or get_default_backend()[0],
+    }
+    path = json_dir / f"BENCH_{name.removeprefix('bench_')}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def iter_smoke_results(json_dir: Path | None = _RESULTS_DIR) -> Iterator[tuple[str, dict]]:
+    """Execute every benchmark's experiment at smoke size, yielding results.
+
+    Each run is timed and memory-traced; unless ``json_dir`` is ``None`` a
+    ``BENCH_<id>.json`` record is written per benchmark.
+    """
     check_coverage()
     for name, (runner, kwargs) in sorted(SMOKE_RUNS.items()):
         module = _load_bench_module(name)
         entry_points = [attr for attr in dir(module) if attr.startswith("test_")]
         if not entry_points:
             raise AssertionError(f"{name}.py defines no test_* entry point")
+        tracemalloc.start()
+        start = time.perf_counter()
         result = runner(**kwargs)
+        wall_seconds = time.perf_counter() - start
+        # Experiments that profile memory themselves (e.g. E15) stop the
+        # global tracer mid-run; their records then report a 0 peak and the
+        # per-mode peaks live in the experiment's own rows instead.
+        peak_mib = (
+            tracemalloc.get_traced_memory()[1] / 2**20 if tracemalloc.is_tracing() else 0.0
+        )
+        tracemalloc.stop()
         if not isinstance(result, dict) or "table" not in result:
             raise AssertionError(f"{name}: experiment result lost its 'table' contract")
+        if json_dir is not None:
+            write_bench_record(name, result, wall_seconds, peak_mib, json_dir)
         yield name, result
 
 
@@ -156,6 +222,7 @@ def main() -> int:
     for name, _result in iter_smoke_results():
         print(f"{name}: ok")
     print(f"{len(SMOKE_RUNS)} benchmark scripts executed")
+    print(f"performance records written to {_RESULTS_DIR}/BENCH_<id>.json")
     return 0
 
 

@@ -38,10 +38,13 @@ from repro.relational.instance import Instance
 from repro.relational.join import join_result, join_size
 from repro.queries.linear import ProductQuery, TableQuery, counting_query
 from repro.queries.workload import Workload
+from repro.queries.backends import EvaluationBackend, register_backend, registered_backends
 from repro.queries.evaluation import (
     ErrorReport,
     SparseWorkloadEvaluator,
     WorkloadEvaluator,
+    auto_evaluator_mode,
+    set_default_backend,
     shared_evaluator,
 )
 from repro.mechanisms.spec import PrivacySpec
@@ -62,6 +65,7 @@ __all__ = [
     "AttributeTree",
     "Domain",
     "ErrorReport",
+    "EvaluationBackend",
     "Instance",
     "JoinQuery",
     "PMWConfig",
@@ -75,6 +79,7 @@ __all__ = [
     "TableQuery",
     "Workload",
     "WorkloadEvaluator",
+    "auto_evaluator_mode",
     "chain_query",
     "counting_query",
     "figure4_query",
@@ -84,8 +89,11 @@ __all__ = [
     "multi_table_release",
     "path3_query",
     "private_multiplicative_weights",
+    "register_backend",
+    "registered_backends",
     "release_synthetic_data",
     "residual_sensitivity",
+    "set_default_backend",
     "shared_evaluator",
     "single_table_query",
     "star_query",

@@ -5,10 +5,14 @@ Usage::
     python -m repro.cli list                # list available experiments
     python -m repro.cli run e6              # run one experiment, print its table
     python -m repro.cli run all --seed 1    # run the full suite
+    python -m repro.cli run e16 --evaluator-backend sharded --workers 4
     python -m repro.cli demo                # tiny end-to-end quickstart
 
 Every experiment corresponds to a row of the per-experiment index in
 DESIGN.md; the printed tables are the ones recorded in EXPERIMENTS.md.
+``--evaluator-backend`` / ``--workers`` set the process-wide default
+workload-evaluation backend (see ``repro.queries.backends``), so every
+release algorithm in the run inherits them.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import sys
 import time
 
 from repro.experiments import DESCRIPTIONS, EXPERIMENTS
+from repro.queries.evaluation import registered_backends, set_default_backend
 
 
 def _cmd_list() -> int:
@@ -68,6 +73,13 @@ def _cmd_demo(seed: int) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,8 +93,24 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--markdown", action="store_true", help="print GitHub-flavoured tables")
     demo_parser = subparsers.add_parser("demo", help="tiny end-to-end quickstart")
     demo_parser.add_argument("--seed", type=int, default=0)
+    for sub in (run_parser, demo_parser):
+        sub.add_argument(
+            "--evaluator-backend",
+            choices=("auto",) + registered_backends(),
+            default="auto",
+            help="workload-evaluation backend for every release in the run",
+        )
+        sub.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            help="worker processes for the sharded evaluation backend (>= 2 "
+            "also makes 'sharded' eligible for the automatic choice)",
+        )
 
     args = parser.parse_args(argv)
+    if args.command in ("run", "demo"):
+        set_default_backend(args.evaluator_backend, args.workers)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

@@ -27,9 +27,14 @@ budget) clamped to a configurable range.
 
 The inner loop never touches full-domain query vectors: scores are computed
 with one batched workload evaluation per round (dense matmul, CSR
-matrix–vector product, or chunked streaming scan depending on the evaluator
-mode) and the multiplicative update rescales only the selected query's cached
-support — the update factor is exactly 1 outside it.
+matrix–vector product, sharded parallel matvec, or chunked streaming scan
+depending on the evaluator backend) and the multiplicative update rescales
+only the selected query's cached support — the update factor is exactly 1
+outside it.  The histogram lives in a
+:class:`~repro.queries.backends.HistogramSession` owned by the loop: each
+round sends the backend only the selected query's support delta (plus one
+renormalisation scale), never the histogram itself, so the sharded backend's
+workers read every update straight out of shared memory.
 """
 
 from __future__ import annotations
@@ -132,6 +137,8 @@ def private_multiplicative_weights(
     rng: np.random.Generator | None = None,
     seed: int | None = None,
     evaluator: WorkloadEvaluator | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
     config: PMWConfig | None = None,
 ) -> PMWResult:
     """Run ``PMW_{ε, δ, Δ̃}`` on an instance and return the averaged histogram.
@@ -156,6 +163,11 @@ def private_multiplicative_weights(
         per-workload evaluator is used, so repeated PMW runs over the same
         workload (the uniformized algorithms, trial sweeps) reuse its cached
         matrix or query supports.
+    backend, workers:
+        Evaluation-backend knobs forwarded to
+        :func:`~repro.queries.evaluation.shared_evaluator` when no explicit
+        ``evaluator`` is given (``backend="sharded"`` with ``workers >= 2``
+        parallelises the per-round score computation).
     """
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -166,7 +178,7 @@ def private_multiplicative_weights(
     config = config or PMWConfig()
     generator = resolve_rng(rng, seed)
     if evaluator is None:
-        evaluator = shared_evaluator(workload)
+        evaluator = shared_evaluator(workload, backend=backend, workers=workers)
 
     join_query = workload.join_query
     domain_size = join_query.joint_domain_size
@@ -218,30 +230,42 @@ def private_multiplicative_weights(
     # Step 3: multiplicative weights over the joint domain.  Scores come from
     # one batched workload evaluation per round; the update rescales only the
     # selected query's support cells (the factor is exp(0) = 1 elsewhere).
+    # The histogram lives in a backend session so only the support delta and
+    # the renormalisation scale are sent each round — the sharded backend's
+    # workers see the in-place writes through shared memory.
     true_answers = evaluator.answers_on_instance(instance)
-    current = np.full(domain_size, noisy_total / domain_size, dtype=float)
+    session = evaluator.histogram_session(
+        np.full(domain_size, noisy_total / domain_size, dtype=float)
+    )
     average = np.zeros(domain_size, dtype=float)
     selected: list[int] = []
 
-    for _round in range(iterations):
-        current_answers = evaluator.answers_on_histogram(current)
-        scores = np.abs(current_answers - true_answers) / sensitivity_bound
-        query_index = exponential_mechanism(scores, epsilon_per_round, 1.0, rng=generator)
-        selected.append(query_index)
+    try:
+        for _round in range(iterations):
+            current_answers = session.answers()
+            scores = np.abs(current_answers - true_answers) / sensitivity_bound
+            query_index = exponential_mechanism(
+                scores, epsilon_per_round, 1.0, rng=generator
+            )
+            selected.append(query_index)
 
-        measurement = float(true_answers[query_index]) + sample_laplace(
-            sensitivity_bound / epsilon_per_round, rng=generator
-        )
-        support_indices, support_values = evaluator.query_support(query_index)
-        step = (measurement - float(current_answers[query_index])) / (2.0 * noisy_total)
-        exponent = np.clip(support_values * step, -config.update_clip, config.update_clip)
-        current[support_indices] *= np.exp(exponent)
-        total = current.sum()
-        if total <= 0:
-            current = np.full(domain_size, noisy_total / domain_size, dtype=float)
-        else:
-            current *= noisy_total / total
-        average += current
+            measurement = float(true_answers[query_index]) + sample_laplace(
+                sensitivity_bound / epsilon_per_round, rng=generator
+            )
+            support_indices, support_values = evaluator.query_support(query_index)
+            step = (measurement - float(current_answers[query_index])) / (2.0 * noisy_total)
+            exponent = np.clip(
+                support_values * step, -config.update_clip, config.update_clip
+            )
+            session.scale_support(support_indices, np.exp(exponent))
+            total = session.total()
+            if total <= 0:
+                session.fill(noisy_total / domain_size)
+            else:
+                session.scale(noisy_total / total)
+            average += session.array
+    finally:
+        session.close()
 
     histogram = (average / iterations).reshape(join_query.shape)
     return PMWResult(

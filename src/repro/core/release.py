@@ -45,12 +45,14 @@ def _single_table_release(
     *,
     rng: np.random.Generator | None,
     evaluator: WorkloadEvaluator | None,
+    backend: str | None,
+    workers: int | None,
     pmw_config: PMWConfig | None,
 ) -> ReleaseResult:
     """Theorem 1.3: the single-table case has sensitivity one."""
     workload.require_compatible(instance.query)
     if evaluator is None:
-        evaluator = shared_evaluator(workload)
+        evaluator = shared_evaluator(workload, backend=backend, workers=workers)
     pmw = private_multiplicative_weights(
         instance,
         workload,
@@ -90,6 +92,8 @@ def release_synthetic_data(
     rng: np.random.Generator | None = None,
     seed: int | None = None,
     evaluator: WorkloadEvaluator | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
     pmw_config: PMWConfig | None = None,
 ) -> ReleaseResult:
     """Release a DP synthetic dataset for answering the workload's linear queries.
@@ -109,6 +113,12 @@ def release_synthetic_data(
         algorithm matching the query shape.
     rng, seed:
         Source of randomness (mutually exclusive).
+    backend, workers:
+        Workload-evaluation backend knobs (any registered backend name, or
+        ``"auto"``) forwarded to every algorithm;
+        ``backend="sharded", workers>=2`` parallelises the PMW score
+        computation across worker processes.  Ignored when an explicit
+        ``evaluator`` is passed.
 
     Returns
     -------
@@ -139,6 +149,8 @@ def release_synthetic_data(
             delta,
             rng=generator,
             evaluator=evaluator,
+            backend=backend,
+            workers=workers,
             pmw_config=pmw_config,
         )
     if method == "two_table":
@@ -149,6 +161,8 @@ def release_synthetic_data(
             delta,
             rng=generator,
             evaluator=evaluator,
+            backend=backend,
+            workers=workers,
             pmw_config=pmw_config,
         )
     if method == "multi_table":
@@ -159,6 +173,8 @@ def release_synthetic_data(
             delta,
             rng=generator,
             evaluator=evaluator,
+            backend=backend,
+            workers=workers,
             pmw_config=pmw_config,
         )
     partition_method = {
@@ -174,5 +190,7 @@ def release_synthetic_data(
         method=partition_method,
         rng=generator,
         evaluator=evaluator,
+        backend=backend,
+        workers=workers,
         pmw_config=pmw_config,
     )

@@ -1,6 +1,6 @@
 """The experiment harness: one module per reproduced paper artefact.
 
-Every experiment ``E1 ... E14`` of DESIGN.md's per-experiment index lives in
+Every experiment ``E1 ... E16`` of DESIGN.md's per-experiment index lives in
 its own module with a ``run(...)`` function returning a dictionary that always
 contains a ``"table"`` entry (an :class:`repro.analysis.reporting.ExperimentTable`)
 plus experiment-specific raw values that the benchmark suite asserts on.  The
@@ -25,6 +25,7 @@ from repro.experiments import (
     e13_single_table_pmw,
     e14_privacy_audit,
     e15_evaluator_scaling,
+    e16_sharded_evaluation,
 )
 
 EXPERIMENTS = {
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     "e13": e13_single_table_pmw.run,
     "e14": e14_privacy_audit.run,
     "e15": e15_evaluator_scaling.run,
+    "e16": e16_sharded_evaluation.run,
 }
 
 DESCRIPTIONS = {
@@ -61,6 +63,7 @@ DESCRIPTIONS = {
     "e13": "Theorem 1.3 — single-table PMW sanity",
     "e14": "Lemmas 3.2/3.7/4.1 — empirical privacy audit",
     "e15": "Workload-evaluation engine scaling — dense vs sparse vs streaming",
+    "e16": "Sharded multi-process evaluation — parallel speedup with bitwise PMW parity",
 }
 
 __all__ = ["EXPERIMENTS", "DESCRIPTIONS"]

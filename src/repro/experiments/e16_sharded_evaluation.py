@@ -1,0 +1,182 @@
+"""E16 — sharded multi-process workload evaluation vs the serial sparse path.
+
+The sharded backend splits the CSR support blocks into row shards evaluated
+by a persistent ``multiprocessing`` pool over a shared-memory histogram (see
+:mod:`repro.queries.sharded`).  This experiment builds the E15-scale
+two-table marginal workload, evaluates one histogram repeatedly through the
+serial sparse backend and through the sharded backend, and records
+
+* per-evaluation wall time for both and the resulting speedup,
+* the maximum answer deviation (row-sharding keeps per-query sums bitwise
+  identical to the serial sparse path, so this should be exactly zero),
+* whether two PMW runs — one per backend, same seed — select bitwise
+  identical query sequences (the reproducibility guarantee the sharded
+  backend is designed around).
+
+The benchmark (``benchmarks/bench_e16_sharded_evaluation.py``) asserts the
+parity properties unconditionally and the ≥ 1.5× speedup whenever the host
+actually exposes ≥ 4 cores (a single-core runner cannot demonstrate
+parallel speedup, only correctness).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.experiments.e15_evaluator_scaling import _marginal_workload
+from repro.queries.evaluation import WorkloadEvaluator
+from repro.relational.hypergraph import two_table_query
+from repro.relational.instance import Instance
+
+
+def effective_cores() -> int:
+    """CPU cores actually available to this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _random_instance(query, tuples_per_relation: int, rng: np.random.Generator) -> Instance:
+    size_a = query.attribute("A").domain.size
+    size_b = query.attribute("B").domain.size
+    size_c = query.attribute("C").domain.size
+    tuples_r1 = [
+        (int(rng.integers(size_a)), int(rng.integers(size_b)))
+        for _ in range(tuples_per_relation)
+    ]
+    tuples_r2 = [
+        (int(rng.integers(size_b)), int(rng.integers(size_c)))
+        for _ in range(tuples_per_relation)
+    ]
+    return Instance.from_tuple_lists(query, {"R1": tuples_r1, "R2": tuples_r2})
+
+
+def _time_evaluations(
+    evaluator: WorkloadEvaluator, histogram: np.ndarray, repeats: int
+) -> tuple[np.ndarray, float]:
+    """Warm the backend, then time ``repeats`` histogram evaluations."""
+    answers = evaluator.answers_on_histogram(histogram)  # build supports / start pool
+    start = time.perf_counter()
+    for _ in range(repeats):
+        answers = evaluator.answers_on_histogram(histogram)
+    seconds = (time.perf_counter() - start) / max(repeats, 1)
+    return answers, seconds
+
+
+def run(
+    *,
+    size_a: int = 128,
+    size_b: int = 64,
+    size_c: int = 128,
+    workers: int | None = None,
+    eval_repeats: int = 5,
+    pmw_rounds: int = 6,
+    tuples_per_relation: int = 2000,
+    chunk_size: int = 1 << 18,
+    histogram_total: float = 4000.0,
+    epsilon: float = 1.0,
+    delta: float = 1e-5,
+    seed: int = 0,
+) -> dict:
+    """Profile serial-sparse vs sharded evaluation on one marginal workload."""
+    rng = np.random.default_rng(seed)
+    query = two_table_query(size_a, size_b, size_c)
+    workload = _marginal_workload(query)
+    cores = effective_cores()
+    if workers is None:
+        workers = max(2, min(4, cores))
+
+    histogram = rng.random(query.shape)
+    histogram *= histogram_total / histogram.sum()
+
+    serial = WorkloadEvaluator(workload, mode="sparse", chunk_size=chunk_size)
+    sharded = WorkloadEvaluator(
+        workload, mode="sharded", workers=workers, chunk_size=chunk_size
+    )
+    try:
+        reference, serial_seconds = _time_evaluations(serial, histogram, eval_repeats)
+        answers, sharded_seconds = _time_evaluations(sharded, histogram, eval_repeats)
+
+        scale = max(1.0, float(np.abs(reference).max()))
+        max_abs_diff = float(np.max(np.abs(answers - reference)))
+        answers_match = bool(max_abs_diff <= 1e-9 * scale)
+        speedup = serial_seconds / max(sharded_seconds, 1e-12)
+
+        # PMW reproducibility: same seed, same instance, both backends must
+        # walk bitwise-identical query selections (and histograms).
+        instance = _random_instance(query, tuples_per_relation, rng)
+        pmw_config = PMWConfig(num_iterations=pmw_rounds)
+        pmw_serial = private_multiplicative_weights(
+            instance, workload, epsilon, delta, 1.0,
+            seed=seed, evaluator=serial, config=pmw_config,
+        )
+        pmw_sharded = private_multiplicative_weights(
+            instance, workload, epsilon, delta, 1.0,
+            seed=seed, evaluator=sharded, config=pmw_config,
+        )
+        selections_match = pmw_serial.selected_queries == pmw_sharded.selected_queries
+        histograms_match = bool(
+            np.array_equal(pmw_serial.histogram, pmw_sharded.histogram)
+        )
+
+        rows = [
+            {
+                "backend": "sparse",
+                "workers": 1,
+                "eval_seconds": serial_seconds,
+                "estimated_mib": serial.estimated_memory() / 2**20,
+            },
+            {
+                "backend": "sharded",
+                "workers": workers,
+                "eval_seconds": sharded_seconds,
+                "estimated_mib": sharded.estimated_memory() / 2**20,
+            },
+        ]
+        table = ExperimentTable(
+            title=(
+                "E16: sharded evaluation — "
+                f"|Q|={len(workload)}, |D|={query.joint_domain_size}, "
+                f"strategy={sharded.backend.strategy!r}, cores={cores}, "
+                f"speedup={speedup:.2f}x, "
+                f"PMW selections {'match' if selections_match else 'DIVERGE'}"
+            ),
+            columns=["backend", "workers", "eval (s)", "est. resident (MiB)"],
+        )
+        for row in rows:
+            table.add_row(
+                [
+                    row["backend"],
+                    row["workers"],
+                    round(row["eval_seconds"], 4),
+                    round(row["estimated_mib"], 1),
+                ]
+            )
+
+        return {
+            "table": table,
+            "rows": rows,
+            "backend": "sharded",
+            "strategy": sharded.backend.strategy,
+            "num_queries": len(workload),
+            "domain_size": query.joint_domain_size,
+            "workers": workers,
+            "effective_cores": cores,
+            "serial_eval_seconds": serial_seconds,
+            "sharded_eval_seconds": sharded_seconds,
+            "speedup": speedup,
+            "max_abs_diff": max_abs_diff,
+            "answer_scale": scale,
+            "answers_match": answers_match,
+            "selections_match": selections_match,
+            "histograms_match": histograms_match,
+            "selected_queries": list(pmw_serial.selected_queries),
+        }
+    finally:
+        sharded.close()

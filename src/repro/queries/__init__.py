@@ -5,32 +5,59 @@ function ``q_i : D_i -> [-1, +1]`` per relation; its answer is the weighted
 join size ``Σ_t ρ(t)·Π_i q_i(t_i)·R_i(t_i)``.  This subpackage provides the
 query objects, standard workload families (counting, predicates, marginals,
 ranges, random signs), and exact evaluation against both instances and
-released synthetic datasets.
+released synthetic datasets through the pluggable evaluation-backend
+registry (dense / sparse / sharded / streaming).
 """
 
 from repro.queries.linear import ProductQuery, TableQuery, all_one_query, counting_query
 from repro.queries.workload import Workload
+from repro.queries.backends import (
+    BackendCost,
+    EvaluationBackend,
+    EvaluatorConfig,
+    EvaluatorContext,
+    HistogramSession,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
 from repro.queries.evaluation import (
     ErrorReport,
     SparseWorkloadEvaluator,
     WorkloadEvaluator,
+    auto_evaluator_mode,
     evaluate_workload_on_histogram,
     evaluate_workload_on_instance,
+    evaluator_backend_costs,
+    get_default_backend,
     max_error,
+    set_default_backend,
     shared_evaluator,
 )
 
 __all__ = [
+    "BackendCost",
     "ErrorReport",
+    "EvaluationBackend",
+    "EvaluatorConfig",
+    "EvaluatorContext",
+    "HistogramSession",
     "ProductQuery",
     "SparseWorkloadEvaluator",
     "TableQuery",
     "Workload",
     "WorkloadEvaluator",
     "all_one_query",
+    "auto_evaluator_mode",
     "counting_query",
     "evaluate_workload_on_histogram",
     "evaluate_workload_on_instance",
+    "evaluator_backend_costs",
+    "get_default_backend",
     "max_error",
+    "register_backend",
+    "registered_backends",
+    "set_default_backend",
     "shared_evaluator",
+    "unregister_backend",
 ]

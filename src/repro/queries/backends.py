@@ -1,0 +1,574 @@
+"""Pluggable workload-evaluation backends.
+
+The release algorithms evaluate workloads through the
+:class:`~repro.queries.evaluation.WorkloadEvaluator` facade; the actual
+work is done by an :class:`EvaluationBackend` drawn from a registry.  A
+backend owns one representation of the workload (dense matrix, CSR
+supports, nothing at all, sharded CSR over a process pool, ...) and answers
+four questions:
+
+``answers_on_histogram(flat)``
+    The full answer vector ``(q(F))_q`` against a flat joint-domain
+    histogram (already validated by the facade).
+``query_support(index)``
+    The CSR-style ``(flat indices, values)`` support of one query — the
+    cells the PMW multiplicative update touches.
+``support_size(index)``
+    The exact number of non-zero joint-domain cells of one query.
+``estimated_memory()``
+    The resident bytes the backend holds once built — the quantity the
+    cost model ranks backends by.
+
+Backends register themselves with :func:`register_backend`; the automatic
+choice is an explicit cost model (:func:`backend_costs` /
+:func:`choose_backend`): every registered backend reports eligibility and
+an estimated memory footprint against the configured budgets, and the
+cheapest-per-evaluation eligible backend wins (``speed_rank`` orders the
+per-evaluation cost: dense matmul < sharded parallel matvec < serial CSR
+matvec < chunked streaming re-scan).  Registering a custom backend class is
+enough for ``mode="auto"``, the CLI flags, and the parity test-suite to
+pick it up.
+
+Shared machinery (exact support-size einsums, chunk plans, chunked support
+construction) lives in :class:`EvaluatorContext`, which every backend
+receives on construction, so new backends only implement the evaluation
+strategy itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+import numpy as np
+
+from repro.queries.workload import Workload
+
+#: Above this many dense matrix cells (``|Q|·|D|``) the dense backend is
+#: ineligible and the evaluator stops materialising the full query matrix.
+_MATRIX_CELL_BUDGET = 60_000_000
+
+#: Above this many total support entries the sparse CSR form is ineligible
+#: (each entry stores an int64 index and a float64 value).
+_SPARSE_CELL_BUDGET = 30_000_000
+
+#: Supports are extracted from a dense per-query joint vector while ``|D|``
+#: stays under this budget; larger domains are scanned chunk by chunk.
+_DENSE_BUILD_BUDGET = 4_000_000
+
+#: Default joint-domain chunk length for streaming scans.
+_DEFAULT_CHUNK_SIZE = 1 << 18
+
+
+def streaming_scratch_bytes(context: "EvaluatorContext") -> int:
+    """Per-scan scratch bytes of one chunked streaming pass.
+
+    One chunk of decoded multi-indices (``ndim`` int64 arrays) plus the
+    value and histogram-slice buffers; shared by the streaming backend and
+    the sharded backend's chunked strategy so their cost-model entries and
+    ``estimated_memory`` reports cannot drift apart.
+    """
+    chunk = min(context.config.chunk_size, context.domain_size)
+    return 8 * chunk * (len(context.shape) + 2)
+
+
+@dataclass(frozen=True)
+class EvaluatorConfig:
+    """Budgets and knobs shared by every backend of one evaluator."""
+
+    cell_budget: int = _MATRIX_CELL_BUDGET
+    sparse_cell_budget: int = _SPARSE_CELL_BUDGET
+    chunk_size: int = _DEFAULT_CHUNK_SIZE
+    workers: int = 1
+
+
+class EvaluatorContext:
+    """Workload-derived state shared by all backends of one evaluator.
+
+    Owns the exact support-size measurement (an einsum over the non-zero
+    indicators of the per-relation weights — the joint domain is never
+    materialised), the per-query chunk plans used by streaming scans, and
+    chunked/dense support construction.  Backends hold a reference to one
+    context and never duplicate this machinery.
+    """
+
+    def __init__(self, workload: Workload, config: EvaluatorConfig):
+        if config.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {config.chunk_size}")
+        if config.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {config.workers}")
+        self.workload = workload
+        self.config = config
+        self.join_query = workload.join_query
+        self.shape = self.join_query.shape
+        self.domain_size = self.join_query.joint_domain_size
+        self._support_sizes: dict[int, int] = {}
+        self._chunk_plans: dict[int, tuple[tuple[tuple[int, ...], np.ndarray], ...]] = {}
+        self._supports_fit: bool | None = None
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.workload)
+
+    # ------------------------------------------------------------------ #
+    # support sizes
+    # ------------------------------------------------------------------ #
+    def support_size(self, index: int) -> int:
+        """Exact number of joint-domain cells where query ``index`` is non-zero."""
+        cached = self._support_sizes.get(index)
+        if cached is not None:
+            return cached
+        from repro.relational.join import _letters_for
+
+        letters = _letters_for(self.join_query)
+        operands = []
+        terms = []
+        for schema, table_query in zip(
+            self.join_query.relations, self.workload[index].table_queries
+        ):
+            operands.append((table_query.weights != 0.0).astype(np.int64))
+            terms.append("".join(letters[name] for name in schema.attribute_names))
+        subscript = ",".join(terms) + "->"
+        size = int(np.einsum(subscript, *operands))
+        self._support_sizes[index] = size
+        return size
+
+    def note_support_size(self, index: int, size: int) -> None:
+        """Record a support size observed as a by-product of a support build."""
+        self._support_sizes.setdefault(index, size)
+
+    def total_support_size(self) -> int:
+        """``Σ_q nnz(q)``: the number of entries the sparse CSR form stores."""
+        return sum(self.support_size(index) for index in range(self.num_queries))
+
+    def supports_fit_budget(self) -> bool:
+        """Whether the total support fits the sparse cell budget.
+
+        Measured lazily with an early stop: once the accumulated support
+        exceeds the budget no further queries are counted, so rejecting the
+        sparse form on a huge workload stays cheap.
+        """
+        if self._supports_fit is None:
+            budget = self.config.sparse_cell_budget
+            total = 0
+            fits = True
+            for index in range(self.num_queries):
+                total += self.support_size(index)
+                if total > budget:
+                    fits = False
+                    break
+            self._supports_fit = fits
+        return self._supports_fit
+
+    # ------------------------------------------------------------------ #
+    # chunked evaluation plans
+    # ------------------------------------------------------------------ #
+    def chunk_plan(self, index: int) -> tuple[tuple[tuple[int, ...], np.ndarray], ...]:
+        """Per-relation ``(joint axes, weights)`` gather plan, all-one factors elided."""
+        cached = self._chunk_plans.get(index)
+        if cached is not None:
+            return cached
+        plan: list[tuple[tuple[int, ...], np.ndarray]] = []
+        for schema, table_query in zip(
+            self.join_query.relations, self.workload[index].table_queries
+        ):
+            if table_query.is_all_one():
+                continue
+            axes = tuple(self.join_query.axis_of(name) for name in schema.attribute_names)
+            plan.append((axes, table_query.weights))
+        result = tuple(plan)
+        self._chunk_plans[index] = result
+        return result
+
+    def values_on_chunk(
+        self,
+        index: int,
+        start: int,
+        stop: int,
+        multi: tuple[np.ndarray, ...] | None = None,
+    ) -> np.ndarray:
+        """Query values on the flat joint-domain index range ``[start, stop)``.
+
+        ``multi`` lets callers that scan many queries over the same chunk
+        share one flat-to-multi index decode.
+        """
+        if multi is None:
+            multi = np.unravel_index(np.arange(start, stop, dtype=np.int64), self.shape)
+        values = np.ones(stop - start, dtype=np.float64)
+        for axes, weights in self.chunk_plan(index):
+            values = values * weights[tuple(multi[axis] for axis in axes)]
+        return values
+
+    def query_values(self, index: int) -> np.ndarray:
+        """Flattened joint-domain value vector of one query (dense)."""
+        return self.workload[index].joint_values().reshape(-1)
+
+    def build_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Construct the ``(flat indices, values)`` support of one query.
+
+        Extracted from a dense joint vector while ``|D|`` fits the build
+        budget; scanned chunk by chunk beyond it, so the extra memory stays
+        bounded regardless of the domain size.
+        """
+        if self.domain_size <= _DENSE_BUILD_BUDGET:
+            values = self.query_values(index)
+            indices = np.flatnonzero(values)
+            support = (indices.astype(np.int64), values[indices])
+        else:
+            index_parts: list[np.ndarray] = []
+            value_parts: list[np.ndarray] = []
+            for start in range(0, self.domain_size, self.config.chunk_size):
+                stop = min(start + self.config.chunk_size, self.domain_size)
+                values = self.values_on_chunk(index, start, stop)
+                nonzero = np.flatnonzero(values)
+                if nonzero.size:
+                    index_parts.append(nonzero.astype(np.int64) + start)
+                    value_parts.append(values[nonzero])
+            if index_parts:
+                support = (np.concatenate(index_parts), np.concatenate(value_parts))
+            else:
+                support = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        self.note_support_size(index, int(support[0].size))
+        return support
+
+
+# ---------------------------------------------------------------------- #
+# histogram sessions (the PMW update protocol)
+# ---------------------------------------------------------------------- #
+class HistogramSession:
+    """A mutable histogram evaluated repeatedly by one backend.
+
+    The PMW inner loop owns one session for its whole run: instead of
+    handing the backend a fresh histogram every round, it applies in-place
+    deltas (the selected query's support rescale plus one global
+    renormalisation) and re-asks for answers.  For serial backends this is
+    plain array arithmetic; for the sharded backend the array is a view on
+    the shared-memory histogram, so the workers see every delta without any
+    per-round re-broadcast.
+
+    A session owns its ``array`` outright: the seed histogram is *copied*
+    on every backend (serial sessions into a private array, sharded into
+    the shared-memory block), so session mutations never touch the caller's
+    input.
+    """
+
+    def __init__(self, backend: "EvaluationBackend", array: np.ndarray):
+        self._backend = backend
+        #: The live flat histogram; writes through this view are what the
+        #: next :meth:`answers` call evaluates.
+        self.array = array
+
+    def answers(self) -> np.ndarray:
+        """Answers of every query against the current histogram contents."""
+        return self._backend.answers_on_histogram(self.array)
+
+    def scale_support(self, indices: np.ndarray, factors: np.ndarray) -> None:
+        """Multiply the cells at ``indices`` by ``factors`` (a support delta)."""
+        self.array[indices] *= factors
+
+    def scale(self, factor: float) -> None:
+        """Multiply every cell by ``factor`` (renormalisation)."""
+        self.array *= factor
+
+    def fill(self, value: float) -> None:
+        """Reset every cell to ``value``."""
+        self.array.fill(value)
+
+    def total(self) -> float:
+        return float(self.array.sum())
+
+    def close(self) -> None:
+        """Release per-session resources (no-op for serial backends)."""
+
+
+# ---------------------------------------------------------------------- #
+# the backend protocol and registry
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BackendCost:
+    """One backend's entry in the automatic-choice cost model."""
+
+    backend: str
+    eligible: bool
+    speed_rank: int
+    memory_bytes: int
+
+
+class EvaluationBackend:
+    """Base class of every evaluation backend.
+
+    Subclasses set ``name`` and ``speed_rank``, implement
+    ``answers_on_histogram`` / ``_build_support`` / ``estimated_memory``,
+    and the two cost-model classmethods ``is_eligible`` (cheap, used by the
+    auto-chooser in rank order) and ``estimate_cost`` (full report).  The
+    base class provides budget-capped support caching: backends whose
+    primary representation *is* the support set (``caches_all_supports``)
+    keep every support; the others only cache within the sparse cell budget
+    so e.g. streaming keeps its bounded-memory guarantee.
+    """
+
+    name: ClassVar[str]
+    speed_rank: ClassVar[int]
+    caches_all_supports: ClassVar[bool] = False
+
+    def __init__(self, context: EvaluatorContext):
+        self._context = context
+        self._supports: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._cached_support_entries = 0
+
+    # -- cost model -------------------------------------------------------
+    @classmethod
+    def is_eligible(cls, context: EvaluatorContext) -> bool:
+        raise NotImplementedError
+
+    @classmethod
+    def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        raise NotImplementedError
+
+    # -- evaluation -------------------------------------------------------
+    def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
+        """Answers against a flat float64 histogram (validated by the facade)."""
+        raise NotImplementedError
+
+    def session(self, initial: np.ndarray) -> HistogramSession:
+        """Open a mutable histogram session seeded with a copy of ``initial``."""
+        return HistogramSession(self, np.array(initial, dtype=np.float64))
+
+    # -- supports ---------------------------------------------------------
+    def support_size(self, index: int) -> int:
+        return self._context.support_size(index)
+
+    def _build_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        return self._context.build_support(index)
+
+    def query_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style ``(flat indices, values)`` support of one query, cached."""
+        cached = self._supports.get(index)
+        if cached is not None:
+            return cached
+        support = self._build_support(index)
+        size = int(support[0].size)
+        if (
+            self.caches_all_supports
+            or self._cached_support_entries + size <= self._context.config.sparse_cell_budget
+        ):
+            self._supports[index] = support
+            self._cached_support_entries += size
+        self._context.note_support_size(index, size)
+        return support
+
+    # -- lifecycle --------------------------------------------------------
+    def estimated_memory(self) -> int:
+        """Resident bytes this backend holds once built."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared memory, ...)."""
+
+
+_REGISTRY: dict[str, type[EvaluationBackend]] = {}
+
+
+def register_backend(cls: type[EvaluationBackend]) -> type[EvaluationBackend]:
+    """Class decorator adding a backend to the registry (keyed by ``cls.name``)."""
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError("a backend class must define a non-empty string `name`")
+    if name == "auto":
+        raise ValueError('"auto" is reserved for the automatic choice')
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Names of every registered backend, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def backend_class(name: str) -> type[EvaluationBackend]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown evaluator backend {name!r}; expected one of "
+            f"{('auto',) + registered_backends()}"
+        ) from None
+
+
+def _ranked_backends() -> Iterator[type[EvaluationBackend]]:
+    order = {name: position for position, name in enumerate(_REGISTRY)}
+    yield from sorted(_REGISTRY.values(), key=lambda cls: (cls.speed_rank, order[cls.name]))
+
+
+def choose_backend(context: EvaluatorContext) -> str:
+    """The cost model's pick: the fastest eligible registered backend.
+
+    Backends are probed in ``speed_rank`` order, so expensive eligibility
+    measurements (the sparse support count) only run when every faster
+    backend has already been ruled out.
+    """
+    for cls in _ranked_backends():
+        if cls.is_eligible(context):
+            return cls.name
+    raise RuntimeError("no registered evaluation backend is eligible")
+
+
+def backend_costs(context: EvaluatorContext) -> tuple[BackendCost, ...]:
+    """The full cost-model report over every registered backend.
+
+    Unlike :func:`choose_backend` this measures every entry (including the
+    exact total support size), so it is meant for planning and reporting,
+    not for the evaluation hot path.
+    """
+    return tuple(cls.estimate_cost(context) for cls in _ranked_backends())
+
+
+# ---------------------------------------------------------------------- #
+# built-in serial backends
+# ---------------------------------------------------------------------- #
+@register_backend
+class DenseBackend(EvaluationBackend):
+    """The full ``|Q| × |D|`` float64 query matrix; answers are one matmul."""
+
+    name = "dense"
+    speed_rank = 0
+
+    def __init__(self, context: EvaluatorContext):
+        super().__init__(context)
+        matrix = np.empty((context.num_queries, context.domain_size), dtype=np.float64)
+        for row in range(context.num_queries):
+            matrix[row] = context.query_values(row)
+        self.matrix = matrix
+
+    @classmethod
+    def is_eligible(cls, context: EvaluatorContext) -> bool:
+        return context.num_queries * context.domain_size <= context.config.cell_budget
+
+    @classmethod
+    def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        cells = context.num_queries * context.domain_size
+        return BackendCost(
+            backend=cls.name,
+            eligible=cells <= context.config.cell_budget,
+            speed_rank=cls.speed_rank,
+            memory_bytes=8 * cells,
+        )
+
+    def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
+        return self.matrix @ flat
+
+    def _build_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        row = self.matrix[index]
+        indices = np.flatnonzero(row)
+        return (indices.astype(np.int64), row[indices])
+
+    def query_values(self, index: int) -> np.ndarray:
+        return self.matrix[index]
+
+    def estimated_memory(self) -> int:
+        return 8 * self.matrix.size
+
+
+@register_backend
+class SparseBackend(EvaluationBackend):
+    """One CSR-style support per query; answers are a batched sparse matvec."""
+
+    name = "sparse"
+    speed_rank = 20
+    caches_all_supports = True
+
+    def __init__(self, context: EvaluatorContext):
+        super().__init__(context)
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @classmethod
+    def is_eligible(cls, context: EvaluatorContext) -> bool:
+        return context.supports_fit_budget()
+
+    @classmethod
+    def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        total = context.total_support_size()
+        return BackendCost(
+            backend=cls.name,
+            eligible=total <= context.config.sparse_cell_budget,
+            speed_rank=cls.speed_rank,
+            memory_bytes=16 * total,
+        )
+
+    def _ensure_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated ``(row ids, indices, values)`` of all query supports."""
+        if self._csr is None:
+            supports = [
+                self.query_support(index) for index in range(self._context.num_queries)
+            ]
+            counts = np.array([indices.size for indices, _ in supports], dtype=np.int64)
+            row_ids = np.repeat(np.arange(len(supports), dtype=np.int64), counts)
+            indices = (
+                np.concatenate([s[0] for s in supports])
+                if supports
+                else np.empty(0, dtype=np.int64)
+            )
+            values = (
+                np.concatenate([s[1] for s in supports])
+                if supports
+                else np.empty(0, dtype=np.float64)
+            )
+            # Re-point the per-query cache at zero-copy slices of the
+            # concatenated arrays so both representations share storage.
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            for index in range(len(supports)):
+                lo, hi = int(offsets[index]), int(offsets[index + 1])
+                self._supports[index] = (indices[lo:hi], values[lo:hi])
+            self._csr = (row_ids, indices, values)
+        return self._csr
+
+    def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
+        row_ids, indices, values = self._ensure_csr()
+        return np.bincount(
+            row_ids, weights=values * flat[indices], minlength=self._context.num_queries
+        )
+
+    def estimated_memory(self) -> int:
+        return 16 * self._context.total_support_size()
+
+
+@register_backend
+class StreamingBackend(EvaluationBackend):
+    """No per-query state: chunked joint-domain scans recompute values on the fly."""
+
+    name = "streaming"
+    speed_rank = 100
+
+    @classmethod
+    def is_eligible(cls, context: EvaluatorContext) -> bool:
+        return True
+
+    @classmethod
+    def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        return BackendCost(
+            backend=cls.name,
+            eligible=True,
+            speed_rank=cls.speed_rank,
+            memory_bytes=streaming_scratch_bytes(context),
+        )
+
+    def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
+        context = self._context
+        answers = np.zeros(context.num_queries, dtype=np.float64)
+        for start in range(0, context.domain_size, context.config.chunk_size):
+            stop = min(start + context.config.chunk_size, context.domain_size)
+            chunk = flat[start:stop]
+            multi = np.unravel_index(np.arange(start, stop, dtype=np.int64), context.shape)
+            for index in range(context.num_queries):
+                answers[index] += float(
+                    context.values_on_chunk(index, start, stop, multi=multi) @ chunk
+                )
+        return answers
+
+    def estimated_memory(self) -> int:
+        return streaming_scratch_bytes(self._context)

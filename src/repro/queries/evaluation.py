@@ -1,8 +1,9 @@
 """Exact workload evaluation and error reporting.
 
 :class:`WorkloadEvaluator` answers a whole workload against instances and
-joint-domain histograms.  Three interchangeable evaluation modes trade memory
-for speed; all of them sit behind the same interface so the release
+joint-domain histograms.  It is a thin facade over the pluggable
+:class:`~repro.queries.backends.EvaluationBackend` registry; the built-in
+backends trade memory for speed behind one interface, so the release
 algorithms never care which one is active:
 
 ``dense``
@@ -11,59 +12,67 @@ algorithms never care which one is active:
     evaluation, but the matrix costs ``8·|Q|·|D|`` bytes.
 ``sparse``
     Stores one CSR-style ``(indices, values)`` support per query — only the
-    joint-domain cells where the query value is non-zero.  Supports are
-    built lazily (chunked when even one dense joint vector would be large)
-    and evaluations run as a batched sparse matrix–vector product.  Memory
-    is ``O(Σ_q nnz(q))`` instead of ``O(|Q|·|D|)``; threshold/marginal
+    joint-domain cells where the query value is non-zero.  Memory is
+    ``O(Σ_q nnz(q))`` instead of ``O(|Q|·|D|)``; threshold/marginal
     workloads are overwhelmingly sparse, so this is usually a large
     reduction.
+``sharded``
+    The sparse CSR split into row shards evaluated by a persistent
+    ``multiprocessing`` worker pool over a shared-memory histogram (with a
+    chunk-range fallback beyond the sparse budget).  Opted into with the
+    ``workers`` knob; answers match the serial sparse path bitwise per
+    query, so PMW selections are reproducible across worker counts.
 ``streaming``
     Holds no per-query state at all: evaluations scan the joint domain in
-    fixed-size chunks and recompute query values on the fly from the
-    per-relation weight arrays.  Slowest, but the extra memory is bounded
-    by the chunk size regardless of ``|Q|`` or ``|D|``.
+    fixed-size chunks and recompute query values on the fly.  Slowest, but
+    the extra memory is bounded by the chunk size regardless of ``|Q|`` or
+    ``|D|``.
 
-The default (``mode="auto"``) measures the exact support size of every query
-(an einsum over the non-zero indicators of the per-relation weights, never
-materialising the joint domain) and picks the cheapest mode that fits the
-configured cell budgets: dense while ``|Q|·|D|`` stays under
-``_MATRIX_CELL_BUDGET``, sparse while the total support fits
-``_SPARSE_CELL_BUDGET``, and streaming otherwise.  The choice (and any
-dense matrix build) is deferred until the first histogram evaluation or
-support request, so instance-only consumers pay nothing for it.
+The default (``mode="auto"``) runs the registry's explicit cost model
+(:func:`~repro.queries.backends.choose_backend`): every registered backend
+reports eligibility against the configured cell budgets — dense while
+``|Q|·|D|`` fits the matrix budget, sparse/sharded while the *measured*
+total support fits the sparse budget (an einsum over the non-zero
+indicators of the per-relation weights, never materialising the joint
+domain), streaming always — and the fastest eligible backend wins.  The
+choice (and any dense matrix build) is deferred until the first histogram
+evaluation or support request, so instance-only consumers pay nothing for
+it.  :func:`register_backend` adds custom backends to the same model.
 
-:func:`shared_evaluator` memoises one evaluator per workload (weakly keyed),
-so repeated release invocations over the same workload — the uniformized
-algorithms, the baselines, parameter sweeps — reuse the cached supports
-instead of rebuilding them.
+:func:`shared_evaluator` memoises evaluators on the workload object itself
+(one per ``(backend, workers)``), so repeated release invocations over the
+same workload — the uniformized algorithms, the baselines, parameter
+sweeps — reuse the cached supports, and the cache dies with the workload.
 """
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.queries.backends import (
+    _DEFAULT_CHUNK_SIZE,
+    _MATRIX_CELL_BUDGET,
+    _SPARSE_CELL_BUDGET,
+    BackendCost,
+    DenseBackend,
+    EvaluationBackend,
+    EvaluatorConfig,
+    EvaluatorContext,
+    HistogramSession,
+    backend_class,
+    backend_costs,
+    choose_backend,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 
-#: Above this many dense matrix cells (``|Q|·|D|``) the evaluator stops
-#: materialising the full query matrix.
-_MATRIX_CELL_BUDGET = 60_000_000
-
-#: Above this many total support entries the sparse form is abandoned for
-#: chunked streaming (each entry stores an int64 index and a float64 value).
-_SPARSE_CELL_BUDGET = 30_000_000
-
-#: Supports are extracted from a dense per-query joint vector while ``|D|``
-#: stays under this budget; larger domains are scanned chunk by chunk.
-_DENSE_BUILD_BUDGET = 4_000_000
-
-#: Default joint-domain chunk length for streaming scans.
-_DEFAULT_CHUNK_SIZE = 1 << 18
-
-_MODES = ("auto", "dense", "sparse", "streaming")
+# Importing the module registers the sharded backend.
+import repro.queries.sharded  # noqa: F401  (registration side effect)
 
 
 @dataclass(frozen=True)
@@ -107,6 +116,34 @@ class ErrorReport:
         )
 
 
+# ---------------------------------------------------------------------- #
+# process-wide default backend (set by the CLI flags)
+# ---------------------------------------------------------------------- #
+_DEFAULT_BACKEND: tuple[str, int] = ("auto", 1)
+
+
+def set_default_backend(backend: str = "auto", workers: int = 1) -> None:
+    """Set the process-wide default evaluation backend and worker count.
+
+    Applied wherever no explicit ``mode``/``backend`` is given — fresh
+    ``WorkloadEvaluator(workload)`` constructions and
+    :func:`shared_evaluator` lookups — so one call (e.g. from the CLI's
+    ``--evaluator-backend``/``--workers`` flags) retargets every release
+    algorithm in the process.
+    """
+    if backend != "auto":
+        backend_class(backend)  # raises on unknown names
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = (backend, int(workers))
+
+
+def get_default_backend() -> tuple[str, int]:
+    """The process-wide ``(backend, workers)`` default."""
+    return _DEFAULT_BACKEND
+
+
 class WorkloadEvaluator:
     """Evaluate a workload against instances and joint-domain histograms.
 
@@ -115,20 +152,26 @@ class WorkloadEvaluator:
     workload:
         The query family.
     materialize:
-        Legacy switch: ``True`` forces the dense matrix, ``False`` forbids it
-        (auto-picking between the sparse and streaming forms).  Superseded
-        by ``mode``.
-    mode:
-        One of ``"auto"``, ``"dense"``, ``"sparse"``, ``"streaming"``; see the
-        module docstring for the trade-offs.  ``"auto"`` (the default)
-        measures query support sizes and picks the cheapest mode that fits
-        the cell budgets.
+        Legacy switch: ``True`` forces the dense backend, ``False`` forbids
+        it (auto-picking among the memory-bounded backends).  Superseded by
+        ``mode``.
+    mode / backend:
+        ``"auto"`` or any registered backend name (``"dense"``,
+        ``"sparse"``, ``"sharded"``, ``"streaming"``, plus custom
+        registrations); see the module docstring for the trade-offs.
+        ``backend`` is an alias of ``mode`` matching the release-algorithm
+        knob; when neither is given the process-wide default applies.
+        ``"auto"`` (the default) runs the registry cost model and picks the
+        fastest backend that fits the cell budgets.
     cell_budget / sparse_cell_budget:
         Override the dense-matrix and total-support budgets used by the
-        automatic mode choice.
+        cost model.
     chunk_size:
         Joint-domain chunk length used by streaming scans and chunked
         support construction.
+    workers:
+        Worker-process count for the sharded backend; ``workers >= 2``
+        also makes ``sharded`` eligible for the automatic choice.
     """
 
     def __init__(
@@ -137,69 +180,57 @@ class WorkloadEvaluator:
         materialize: bool | None = None,
         *,
         mode: str | None = None,
+        backend: str | None = None,
         cell_budget: int = _MATRIX_CELL_BUDGET,
         sparse_cell_budget: int = _SPARSE_CELL_BUDGET,
         chunk_size: int = _DEFAULT_CHUNK_SIZE,
+        workers: int | None = None,
     ):
-        if mode is None:
+        name = backend if backend is not None else mode
+        if name is None:
             if materialize is True:
-                mode = "dense"
+                name = "dense"
             elif materialize is False:
-                # Legacy "never materialise": auto-pick among the memory-bounded
-                # modes (sparse while the measured support fits, else streaming).
-                mode = "auto"
+                # Legacy "never materialise": auto-pick among the
+                # memory-bounded backends (sparse while the measured support
+                # fits, else streaming).
+                name = "auto"
                 cell_budget = 0
             else:
-                mode = "auto"
-        if mode not in _MODES:
-            raise ValueError(f"unknown evaluator mode {mode!r}; expected one of {_MODES}")
-        if chunk_size <= 0:
-            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+                name, default_workers = get_default_backend()
+                if workers is None:
+                    workers = default_workers
+        if name != "auto":
+            backend_class(name)  # raises on unknown names
+        if workers is None:
+            workers = 1
+        if name == "sharded" and workers < 2:
+            workers = 2  # sharded implies parallelism
         self._workload = workload
-        self._join_query = workload.join_query
-        self._shape = self._join_query.shape
-        self._domain_size = self._join_query.joint_domain_size
-        self._cell_budget = int(cell_budget)
-        self._sparse_cell_budget = int(sparse_cell_budget)
-        self._chunk_size = int(chunk_size)
-        self._matrix: np.ndarray | None = None
-        self._supports: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        self._support_sizes: dict[int, int] = {}
-        self._cached_support_entries = 0
-        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        self._chunk_plans: dict[int, tuple[tuple[tuple[int, ...], np.ndarray], ...]] = {}
+        self._requested = name
+        self._context = EvaluatorContext(
+            workload,
+            EvaluatorConfig(
+                cell_budget=int(cell_budget),
+                sparse_cell_budget=int(sparse_cell_budget),
+                chunk_size=int(chunk_size),
+                workers=int(workers),
+            ),
+        )
+        self._backend: EvaluationBackend | None = None
         # "auto" is resolved lazily on first histogram/support use:
         # instance-only consumers (answers_on_instance) never pay for the
         # support measurement or the dense matrix build.
-        self._mode: str | None = None if mode == "auto" else mode
-        if self._mode == "dense":
-            self._build_matrix()
+        if name != "auto":
+            self._backend = backend_class(name)(self._context)
 
     # ------------------------------------------------------------------ #
-    # mode selection
+    # backend resolution
     # ------------------------------------------------------------------ #
-    def _build_matrix(self) -> None:
-        matrix = np.empty((len(self._workload), self._domain_size), dtype=np.float64)
-        for row, query in enumerate(self._workload):
-            matrix[row] = query.joint_values().reshape(-1)
-        self._matrix = matrix
-
-    def _resolve_mode(self) -> str:
-        if self._mode is None:
-            self._mode = self._choose_mode()
-            if self._mode == "dense":
-                self._build_matrix()
-        return self._mode
-
-    def _choose_mode(self) -> str:
-        if len(self._workload) * self._domain_size <= self._cell_budget:
-            return "dense"
-        total = 0
-        for index in range(len(self._workload)):
-            total += self.support_size(index)
-            if total > self._sparse_cell_budget:
-                return "streaming"
-        return "sparse"
+    def _resolve_backend(self) -> EvaluationBackend:
+        if self._backend is None:
+            self._backend = backend_class(choose_backend(self._context))(self._context)
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -214,15 +245,25 @@ class WorkloadEvaluator:
 
     @property
     def domain_size(self) -> int:
-        return self._domain_size
+        return self._context.domain_size
+
+    @property
+    def workers(self) -> int:
+        return self._context.config.workers
 
     @property
     def mode(self) -> str:
-        return self._resolve_mode()
+        """The active backend name (resolving the automatic choice)."""
+        return self._resolve_backend().name
+
+    @property
+    def backend(self) -> EvaluationBackend:
+        """The active backend instance (resolving the automatic choice)."""
+        return self._resolve_backend()
 
     @property
     def has_matrix(self) -> bool:
-        return self._matrix is not None
+        return isinstance(self._backend, DenseBackend)
 
     def support_size(self, index: int) -> int:
         """Exact number of joint-domain cells where query ``index`` is non-zero.
@@ -231,27 +272,15 @@ class WorkloadEvaluator:
         weight arrays — the joint domain is never materialised, so this is
         cheap even when ``|D|`` is enormous.
         """
-        cached = self._support_sizes.get(index)
-        if cached is not None:
-            return cached
-        from repro.relational.join import _letters_for
-
-        letters = _letters_for(self._join_query)
-        operands = []
-        terms = []
-        for schema, table_query in zip(
-            self._join_query.relations, self._workload[index].table_queries
-        ):
-            operands.append((table_query.weights != 0.0).astype(np.int64))
-            terms.append("".join(letters[name] for name in schema.attribute_names))
-        subscript = ",".join(terms) + "->"
-        size = int(np.einsum(subscript, *operands))
-        self._support_sizes[index] = size
-        return size
+        return self._context.support_size(index)
 
     def total_support_size(self) -> int:
         """``Σ_q nnz(q)``: the number of entries the sparse form stores."""
-        return sum(self.support_size(index) for index in range(len(self._workload)))
+        return self._context.total_support_size()
+
+    def estimated_memory(self) -> int:
+        """Resident bytes of the active backend (resolving the auto choice)."""
+        return self._resolve_backend().estimated_memory()
 
     # ------------------------------------------------------------------ #
     # query supports
@@ -259,114 +288,17 @@ class WorkloadEvaluator:
     def query_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         """CSR-style ``(flat indices, values)`` support of one query.
 
-        Built lazily and cached; in dense mode it is read off the matrix row.
-        The PMW multiplicative update touches only these cells (the update
-        factor is exactly 1 everywhere else).
+        Built lazily and cached by the backend; the PMW multiplicative
+        update touches only these cells (the update factor is exactly 1
+        everywhere else).
         """
-        cached = self._supports.get(index)
-        if cached is not None:
-            return cached
-        mode = self._resolve_mode()
-        if self._matrix is not None:
-            row = self._matrix[index]
-            indices = np.flatnonzero(row)
-            support = (indices.astype(np.int64), row[indices])
-        elif self._domain_size <= _DENSE_BUILD_BUDGET:
-            values = self._workload[index].joint_values().reshape(-1)
-            indices = np.flatnonzero(values)
-            support = (indices.astype(np.int64), values[indices])
-        else:
-            index_parts: list[np.ndarray] = []
-            value_parts: list[np.ndarray] = []
-            for start in range(0, self._domain_size, self._chunk_size):
-                stop = min(start + self._chunk_size, self._domain_size)
-                values = self._values_on_chunk(index, start, stop)
-                nonzero = np.flatnonzero(values)
-                if nonzero.size:
-                    index_parts.append(nonzero.astype(np.int64) + start)
-                    value_parts.append(values[nonzero])
-            if index_parts:
-                support = (np.concatenate(index_parts), np.concatenate(value_parts))
-            else:
-                support = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
-        # Sparse mode stores supports as its primary representation; dense and
-        # streaming modes only *cache* them (the matrix row / chunked scan can
-        # always recompute one), so their caches stay within the sparse budget
-        # — streaming keeps its bounded-memory guarantee and dense-mode PMW
-        # runs cannot duplicate a near-budget matrix into redundant supports.
-        size = int(support[0].size)
-        if mode == "sparse" or self._cached_support_entries + size <= self._sparse_cell_budget:
-            self._supports[index] = support
-            self._cached_support_entries += size
-        self._support_sizes.setdefault(index, size)
-        return support
+        return self._resolve_backend().query_support(index)
 
     def query_values(self, index: int) -> np.ndarray:
         """Flattened joint-domain value vector of one query (dense)."""
-        if self._matrix is not None:
-            return self._matrix[index]
-        return self._workload[index].joint_values().reshape(-1)
-
-    def _chunk_plan(self, index: int) -> tuple[tuple[tuple[int, ...], np.ndarray], ...]:
-        """Per-relation ``(joint axes, weights)`` gather plan, all-one factors elided."""
-        cached = self._chunk_plans.get(index)
-        if cached is not None:
-            return cached
-        plan: list[tuple[tuple[int, ...], np.ndarray]] = []
-        for schema, table_query in zip(
-            self._join_query.relations, self._workload[index].table_queries
-        ):
-            if table_query.is_all_one():
-                continue
-            axes = tuple(self._join_query.axis_of(name) for name in schema.attribute_names)
-            plan.append((axes, table_query.weights))
-        result = tuple(plan)
-        self._chunk_plans[index] = result
-        return result
-
-    def _values_on_chunk(
-        self,
-        index: int,
-        start: int,
-        stop: int,
-        multi: tuple[np.ndarray, ...] | None = None,
-    ) -> np.ndarray:
-        """Query values on the flat joint-domain index range ``[start, stop)``.
-
-        ``multi`` lets callers that scan many queries over the same chunk
-        share one flat-to-multi index decode.
-        """
-        if multi is None:
-            multi = np.unravel_index(np.arange(start, stop, dtype=np.int64), self._shape)
-        values = np.ones(stop - start, dtype=np.float64)
-        for axes, weights in self._chunk_plan(index):
-            values = values * weights[tuple(multi[axis] for axis in axes)]
-        return values
-
-    def _ensure_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Concatenated ``(row ids, indices, values)`` of all query supports."""
-        if self._csr is None:
-            supports = [self.query_support(index) for index in range(len(self._workload))]
-            counts = np.array([indices.size for indices, _ in supports], dtype=np.int64)
-            row_ids = np.repeat(np.arange(len(supports), dtype=np.int64), counts)
-            indices = (
-                np.concatenate([s[0] for s in supports])
-                if supports
-                else np.empty(0, dtype=np.int64)
-            )
-            values = (
-                np.concatenate([s[1] for s in supports])
-                if supports
-                else np.empty(0, dtype=np.float64)
-            )
-            # Re-point the per-query cache at zero-copy slices of the
-            # concatenated arrays so both representations share storage.
-            offsets = np.concatenate(([0], np.cumsum(counts)))
-            for index in range(len(supports)):
-                lo, hi = int(offsets[index]), int(offsets[index + 1])
-                self._supports[index] = (indices[lo:hi], values[lo:hi])
-            self._csr = (row_ids, indices, values)
-        return self._csr
+        if isinstance(self._backend, DenseBackend):
+            return self._backend.query_values(index)
+        return self._context.query_values(index)
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -375,40 +307,43 @@ class WorkloadEvaluator:
         """Exact answers ``q(I)`` for every workload query.
 
         Evaluated by einsum over the per-relation arrays — identical across
-        all evaluator modes.
+        all evaluator backends.
         """
         return np.array([query.evaluate(instance) for query in self._workload], dtype=float)
 
+    def _validated_flat(self, histogram: np.ndarray) -> np.ndarray:
+        flat = np.asarray(histogram, dtype=float).reshape(-1)
+        if flat.size != self._context.domain_size:
+            raise ValueError(
+                f"histogram has {flat.size} cells, expected {self._context.domain_size}"
+            )
+        return flat
+
     def answers_on_histogram(self, histogram: np.ndarray) -> np.ndarray:
         """Answers ``q(F)`` for every query against a joint-domain histogram."""
-        flat = np.asarray(histogram, dtype=float).reshape(-1)
-        if flat.size != self._domain_size:
-            raise ValueError(
-                f"histogram has {flat.size} cells, expected {self._domain_size}"
-            )
-        mode = self._resolve_mode()
-        if self._matrix is not None:
-            return self._matrix @ flat
-        if mode == "sparse":
-            row_ids, indices, values = self._ensure_csr()
-            return np.bincount(
-                row_ids, weights=values * flat[indices], minlength=len(self._workload)
-            )
-        answers = np.zeros(len(self._workload), dtype=np.float64)
-        for start in range(0, self._domain_size, self._chunk_size):
-            stop = min(start + self._chunk_size, self._domain_size)
-            chunk = flat[start:stop]
-            multi = np.unravel_index(np.arange(start, stop, dtype=np.int64), self._shape)
-            for index in range(len(self._workload)):
-                answers[index] += float(
-                    self._values_on_chunk(index, start, stop, multi=multi) @ chunk
-                )
-        return answers
+        return self._resolve_backend().answers_on_histogram(self._validated_flat(histogram))
+
+    def histogram_session(self, initial: np.ndarray) -> HistogramSession:
+        """Open a mutable histogram session seeded with ``initial``.
+
+        The PMW inner loop uses this instead of re-submitting the histogram
+        every round: it applies in-place deltas (the selected query's
+        support rescale and the renormalisation) through the session and
+        re-asks for answers.  The sharded backend maps the session straight
+        onto its shared-memory histogram, so nothing is re-broadcast to the
+        workers between rounds.
+        """
+        return self._resolve_backend().session(self._validated_flat(initial))
 
     def error_report(self, instance: Instance, histogram: np.ndarray) -> ErrorReport:
         true_answers = self.answers_on_instance(instance)
         released = self.answers_on_histogram(histogram)
         return ErrorReport.from_answers(true_answers, released, self._workload.names())
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared memory, ...)."""
+        if self._backend is not None:
+            self._backend.close()
 
 
 class SparseWorkloadEvaluator(WorkloadEvaluator):
@@ -432,15 +367,36 @@ class SparseWorkloadEvaluator(WorkloadEvaluator):
             cell_budget=0,
             sparse_cell_budget=sparse_cell_budget,
             chunk_size=chunk_size,
+            workers=1,
         )
 
 
 # ---------------------------------------------------------------------- #
-# shared evaluator cache
+# cost-model helpers
 # ---------------------------------------------------------------------- #
-_SHARED_EVALUATORS: "weakref.WeakKeyDictionary[Workload, WorkloadEvaluator]" = (
-    weakref.WeakKeyDictionary()
-)
+def evaluator_backend_costs(
+    workload: Workload,
+    *,
+    cell_budget: int = _MATRIX_CELL_BUDGET,
+    sparse_cell_budget: int = _SPARSE_CELL_BUDGET,
+    chunk_size: int = _DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+) -> tuple[BackendCost, ...]:
+    """The full cost-model report over every registered backend.
+
+    Measures the exact total support size, so it is meant for planning and
+    reporting rather than the evaluation hot path.
+    """
+    context = EvaluatorContext(
+        workload,
+        EvaluatorConfig(
+            cell_budget=cell_budget,
+            sparse_cell_budget=sparse_cell_budget,
+            chunk_size=chunk_size,
+            workers=workers,
+        ),
+    )
+    return backend_costs(context)
 
 
 def auto_evaluator_mode(
@@ -448,49 +404,93 @@ def auto_evaluator_mode(
     *,
     cell_budget: int = _MATRIX_CELL_BUDGET,
     sparse_cell_budget: int = _SPARSE_CELL_BUDGET,
+    workers: int = 1,
 ) -> str:
-    """The mode ``mode="auto"`` would pick, without building any backend.
+    """The backend ``mode="auto"`` would pick, without building any backend.
 
-    Runs only the support-size measurement (einsum counts) — no dense matrix,
-    no supports; useful for planning and reporting.
+    Runs the registry's public cost model (eligibility probes in speed-rank
+    order, so only the measurements that matter are taken) — no dense
+    matrix, no supports; useful for planning and reporting.
     """
-    probe = WorkloadEvaluator(
+    context = EvaluatorContext(
         workload,
-        mode="streaming",
-        cell_budget=cell_budget,
-        sparse_cell_budget=sparse_cell_budget,
+        EvaluatorConfig(
+            cell_budget=cell_budget,
+            sparse_cell_budget=sparse_cell_budget,
+            workers=workers,
+        ),
     )
-    return probe._choose_mode()
+    return choose_backend(context)
 
 
-def shared_evaluator(workload: Workload) -> WorkloadEvaluator:
-    """One cached auto-mode evaluator per workload (weakly keyed).
+# ---------------------------------------------------------------------- #
+# shared evaluator cache
+# ---------------------------------------------------------------------- #
+_CACHE_ATTRIBUTE = "_repro_shared_evaluators"
+
+
+def shared_evaluator(
+    workload: Workload,
+    *,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> WorkloadEvaluator:
+    """One cached evaluator per workload and ``(backend, workers)`` setting.
 
     The release algorithms and baselines call this instead of constructing a
     fresh :class:`WorkloadEvaluator` per invocation, so repeated releases
     over the same workload — uniformized per-bucket runs, trial sweeps, the
-    baselines — share the dense matrix or cached query supports.  The cache
-    holds no strong reference: evaluators die with their workloads.
+    baselines — share the dense matrix, cached query supports, or sharded
+    worker pool.  The cache lives on the workload object itself (a plain
+    attribute), so entries are evicted exactly when the workload is
+    garbage-collected — the cache/evaluator/workload reference cycle is
+    collectable, unlike a module-level weak-key mapping whose values keep
+    their keys alive.
     """
-    evaluator = _SHARED_EVALUATORS.get(workload)
+    default_backend, default_workers = get_default_backend()
+    name = backend if backend is not None else default_backend
+    if workers is None:
+        # An unset worker count follows the process default only when the
+        # backend does too; an explicit backend starts from serial.
+        workers = default_workers if backend is None else 1
+    if name == "sharded" and workers < 2:
+        workers = 2  # sharded implies parallelism
+    key = (name, int(workers))
+    cache: dict[tuple[str, int], WorkloadEvaluator] | None = getattr(
+        workload, _CACHE_ATTRIBUTE, None
+    )
+    if cache is None:
+        cache = {}
+        setattr(workload, _CACHE_ATTRIBUTE, cache)
+    evaluator = cache.get(key)
     if evaluator is None:
-        evaluator = WorkloadEvaluator(workload)
-        _SHARED_EVALUATORS[workload] = evaluator
+        evaluator = WorkloadEvaluator(workload, mode=name, workers=workers)
+        cache[key] = evaluator
     return evaluator
 
 
 def evaluate_workload_on_instance(workload: Workload, instance: Instance) -> np.ndarray:
-    """Exact answers of every workload query on an instance."""
-    return WorkloadEvaluator(workload, materialize=False).answers_on_instance(instance)
+    """Exact answers of every workload query on an instance.
+
+    Uses (and warms) the per-workload :func:`shared_evaluator`, so repeated
+    calls — and any releases over the same workload — reuse one backend;
+    its supports/matrix stay cached for the workload's lifetime.
+    """
+    return shared_evaluator(workload).answers_on_instance(instance)
 
 
 def evaluate_workload_on_histogram(workload: Workload, histogram: np.ndarray) -> np.ndarray:
-    """Answers of every workload query against a joint-domain histogram."""
-    return WorkloadEvaluator(workload, materialize=False).answers_on_histogram(histogram)
+    """Answers of every workload query against a joint-domain histogram.
+
+    Uses (and warms) the per-workload :func:`shared_evaluator`; see
+    :func:`evaluate_workload_on_instance` for the caching trade-off.
+    """
+    return shared_evaluator(workload).answers_on_histogram(histogram)
 
 
 def max_error(workload: Workload, instance: Instance, histogram: np.ndarray) -> float:
     """The ℓ∞ error ``max_q |q(I) − q(F)|`` of a released histogram."""
-    true_answers = evaluate_workload_on_instance(workload, instance)
-    released = evaluate_workload_on_histogram(workload, histogram)
+    evaluator = shared_evaluator(workload)
+    true_answers = evaluator.answers_on_instance(instance)
+    released = evaluator.answers_on_histogram(histogram)
     return float(np.max(np.abs(true_answers - released))) if len(workload) else 0.0

@@ -1,0 +1,360 @@
+"""The sharded evaluation backend: row-sharded CSR over a process pool.
+
+:class:`ShardedBackend` parallelises workload evaluation across a
+persistent ``multiprocessing`` worker pool.  The histogram lives in one
+:mod:`multiprocessing.shared_memory` block that every worker maps, so an
+evaluation round ships only a task id per shard — never the histogram
+itself — and the PMW inner loop's in-place support deltas (see
+:class:`~repro.queries.backends.HistogramSession`) are visible to the
+workers the moment they are written.
+
+Two sharding strategies mirror the serial backends:
+
+``csr``
+    When the total support fits the sparse cell budget, the concatenated
+    CSR arrays are split into contiguous *row* shards balanced by entry
+    count.  A query's entries are never split across shards, so each
+    per-query partial sum runs over exactly the entries the serial sparse
+    backend would accumulate, in the same order — per-query answers are
+    bitwise identical to the serial sparse path (the other shards
+    contribute exact zeros), which is what keeps PMW query selections
+    reproducible across ``workers`` settings.
+``chunked``
+    Beyond the sparse budget, the joint domain is split into contiguous
+    chunk-aligned ranges and each worker runs the streaming re-scan over
+    its range (answers agree with serial streaming to float addition
+    reassociation, i.e. well within 1e-9 relative).
+
+Worker start-up prefers the ``fork`` context: the CSR shards (or chunk
+plans) are inherited copy-on-write through a module-level state table and
+are never pickled.  On platforms without ``fork`` the state is shipped
+once per worker through the pool initializer.  Pool and shared memory are
+torn down by ``close()`` or, failing that, a ``weakref.finalize`` when the
+backend is garbage-collected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.queries.backends import (
+    BackendCost,
+    EvaluatorContext,
+    HistogramSession,
+    SparseBackend,
+    register_backend,
+    streaming_scratch_bytes,
+)
+
+#: Per-process table of worker states, keyed by backend instance key.  In
+#: the parent it holds the authoritative state; ``fork`` workers inherit it
+#: copy-on-write, ``spawn`` workers rebuild their entry in the initializer.
+_WORKER_STATES: dict[int, dict] = {}
+
+_BACKEND_KEYS = itertools.count(1)
+
+
+def _init_worker(key: int, shm_name: str, domain_size: int, payload: dict | None) -> None:
+    """Pool initializer: attach the shared histogram (spawn contexts only).
+
+    Under ``fork`` the state table is inherited and ``payload`` is ``None``;
+    under ``spawn`` the pickled shard data arrives here and the histogram is
+    re-attached by shared-memory name.
+    """
+    if payload is None:
+        return
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:  # the parent owns the segment; workers must not track (or unlink) it
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+    state = dict(payload)
+    state["histogram"] = np.ndarray((domain_size,), dtype=np.float64, buffer=shm.buf)
+    state["_shm"] = shm  # keep the mapping alive for the worker's lifetime
+    _WORKER_STATES[key] = state
+
+
+def _eval_shard(key: int, shard_id: int) -> np.ndarray:
+    """Partial answer vector of one shard against the shared histogram."""
+    state = _WORKER_STATES[key]
+    histogram = state["histogram"]
+    num_queries = state["num_queries"]
+    if state["strategy"] == "csr":
+        lo, hi = state["shards"][shard_id]
+        rows = state["row_ids"][lo:hi]
+        indices = state["indices"][lo:hi]
+        values = state["values"][lo:hi]
+        return np.bincount(
+            rows, weights=values * histogram[indices], minlength=num_queries
+        )
+    start, end = state["ranges"][shard_id]
+    chunk_size = state["chunk_size"]
+    shape = state["shape"]
+    answers = np.zeros(num_queries, dtype=np.float64)
+    for chunk_start in range(start, end, chunk_size):
+        chunk_stop = min(chunk_start + chunk_size, end)
+        multi = np.unravel_index(
+            np.arange(chunk_start, chunk_stop, dtype=np.int64), shape
+        )
+        chunk = histogram[chunk_start:chunk_stop]
+        for index, plan in enumerate(state["plans"]):
+            values = np.ones(chunk_stop - chunk_start, dtype=np.float64)
+            for axes, weights in plan:
+                values = values * weights[tuple(multi[axis] for axis in axes)]
+            answers[index] += float(values @ chunk)
+    return answers
+
+
+def _shutdown(executor: ProcessPoolExecutor, shm: shared_memory.SharedMemory, key: int) -> None:
+    """Tear down one backend's pool, state entry, and shared-memory segment."""
+    try:
+        executor.shutdown(wait=True, cancel_futures=True)
+    except Exception:
+        pass
+    _WORKER_STATES.pop(key, None)
+    try:
+        shm.close()
+        shm.unlink()
+    except Exception:
+        pass
+
+
+class ShardedHistogramSession(HistogramSession):
+    """A histogram session living directly in the shared-memory block.
+
+    ``array`` is a view on the segment every worker maps, so the in-place
+    deltas the PMW loop applies (support rescale + renormalisation) reach
+    the workers without any communication; :meth:`answers` only dispatches
+    shard ids.
+    """
+
+    def __init__(self, backend: "ShardedBackend"):
+        super().__init__(backend, backend._histogram_view())
+
+    def answers(self) -> np.ndarray:
+        return self._backend._dispatch()
+
+    def close(self) -> None:
+        self._backend._session_open = False
+
+
+@register_backend
+class ShardedBackend(SparseBackend):
+    """Row-sharded parallel evaluation over a persistent process pool."""
+
+    name = "sharded"
+    #: Between dense (one vectorised matmul) and serial sparse: with ≥ 2
+    #: workers the CSR matvec parallelises across shards.
+    speed_rank = 10
+
+    def __init__(self, context: EvaluatorContext):
+        super().__init__(context)
+        self._workers = max(2, context.config.workers)
+        self._executor: ProcessPoolExecutor | None = None
+        self._shm: shared_memory.SharedMemory | None = None
+        self._view: np.ndarray | None = None
+        self._key: int | None = None
+        self._num_shards = 0
+        self._finalizer: weakref.finalize | None = None
+        self._session_open = False
+
+    # -- cost model -------------------------------------------------------
+    @classmethod
+    def is_eligible(cls, context: EvaluatorContext) -> bool:
+        # Only the explicit ``workers`` knob opts into spawning processes;
+        # both sharding strategies cover the whole size range.
+        return context.config.workers >= 2
+
+    @classmethod
+    def _resident_bytes(cls, context: EvaluatorContext) -> int:
+        """One formula for both the cost model and ``estimated_memory``.
+
+        Uses the worker count a built backend would actually run with
+        (``max(2, config.workers)``, since sharded implies parallelism).
+        """
+        workers = max(2, context.config.workers)
+        if context.supports_fit_budget():
+            resident = 16 * context.total_support_size()
+        else:
+            resident = streaming_scratch_bytes(context) * workers
+        return resident + 8 * context.domain_size
+
+    @classmethod
+    def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        return BackendCost(
+            backend=cls.name,
+            eligible=context.config.workers >= 2,
+            speed_rank=cls.speed_rank,
+            memory_bytes=cls._resident_bytes(context),
+        )
+
+    # -- pool management --------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        """``"csr"`` while the supports fit the sparse budget, else ``"chunked"``."""
+        return "csr" if self._context.supports_fit_budget() else "chunked"
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def query_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        if self.strategy == "csr":
+            return super().query_support(index)
+        # Chunked strategy: behave like streaming — cache within the budget.
+        saved, self.caches_all_supports = self.caches_all_supports, False
+        try:
+            return super().query_support(index)
+        finally:
+            self.caches_all_supports = saved
+
+    def _csr_shards(self) -> tuple[dict, int]:
+        """The worker state for the ``csr`` strategy: balanced row shards."""
+        row_ids, indices, values = self._ensure_csr()
+        counts = np.bincount(row_ids, minlength=self._context.num_queries).astype(np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        total = int(offsets[-1])
+        # Shard boundaries on row borders, targeting equal entry counts; a
+        # query's entries are never split, preserving its serial sum order.
+        targets = (total * np.arange(1, self._workers)) // self._workers
+        row_bounds = np.unique(
+            np.concatenate(([0], np.searchsorted(offsets, targets, side="left"), [len(counts)]))
+        )
+        shards = [
+            (int(offsets[row_bounds[i]]), int(offsets[row_bounds[i + 1]]))
+            for i in range(len(row_bounds) - 1)
+        ]
+        state = {
+            "strategy": "csr",
+            "num_queries": self._context.num_queries,
+            "row_ids": row_ids,
+            "indices": indices,
+            "values": values,
+            "shards": shards,
+        }
+        return state, len(shards)
+
+    def _chunk_shards(self) -> tuple[dict, int]:
+        """The worker state for the ``chunked`` strategy: chunk-aligned ranges."""
+        context = self._context
+        chunk_size = context.config.chunk_size
+        num_chunks = -(-context.domain_size // chunk_size)
+        bounds = sorted(
+            {
+                min(round(num_chunks * i / self._workers) * chunk_size, context.domain_size)
+                for i in range(self._workers + 1)
+            }
+        )
+        ranges = [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+        plans = [context.chunk_plan(index) for index in range(context.num_queries)]
+        state = {
+            "strategy": "chunked",
+            "num_queries": context.num_queries,
+            "shape": context.shape,
+            "chunk_size": chunk_size,
+            "plans": plans,
+            "ranges": ranges,
+        }
+        return state, len(ranges)
+
+    def _start(self) -> None:
+        if self._executor is not None:
+            return
+        context = self._context
+        state, num_shards = (
+            self._csr_shards() if self.strategy == "csr" else self._chunk_shards()
+        )
+        shm = shared_memory.SharedMemory(create=True, size=max(8 * context.domain_size, 8))
+        view = np.ndarray((context.domain_size,), dtype=np.float64, buffer=shm.buf)
+        state["histogram"] = view
+        key = next(_BACKEND_KEYS)
+        # Under fork the workers inherit this entry (and the shm mapping)
+        # copy-on-write; nothing is pickled.  Under spawn the initializer
+        # rebuilds it from the pickled payload.
+        _WORKER_STATES[key] = state
+        # Fork only where it is the platform's default start method (Linux):
+        # on macOS fork is *available* but unsafe with threads/Accelerate,
+        # which is exactly why spawn is the default there.
+        use_fork = multiprocessing.get_start_method() == "fork"
+        payload = (
+            None
+            if use_fork
+            else {name: value for name, value in state.items() if name != "histogram"}
+        )
+        executor = ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=multiprocessing.get_context("fork" if use_fork else "spawn"),
+            initializer=_init_worker,
+            initargs=(key, shm.name, context.domain_size, payload),
+        )
+        self._executor = executor
+        self._shm = shm
+        self._view = view
+        self._key = key
+        self._num_shards = num_shards
+        self._finalizer = weakref.finalize(self, _shutdown, executor, shm, key)
+
+    def _histogram_view(self) -> np.ndarray:
+        self._start()
+        assert self._view is not None
+        return self._view
+
+    def _dispatch(self) -> np.ndarray:
+        """One parallel evaluation of the current shared-histogram contents."""
+        assert self._executor is not None and self._key is not None
+        futures = [
+            self._executor.submit(_eval_shard, self._key, shard_id)
+            for shard_id in range(self._num_shards)
+        ]
+        # Partial sums are combined in fixed shard order, keeping the result
+        # independent of worker scheduling.
+        answers = np.zeros(self._context.num_queries, dtype=np.float64)
+        for future in futures:
+            answers += future.result()
+        return answers
+
+    # -- evaluation -------------------------------------------------------
+    def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
+        if self._session_open:
+            raise RuntimeError(
+                "a histogram session is open on this sharded backend and owns "
+                "the shared-memory histogram; evaluate through the session or "
+                "close it first"
+            )
+        view = self._histogram_view()
+        if flat is not view:
+            view[:] = flat
+        return self._dispatch()
+
+    def session(self, initial: np.ndarray) -> HistogramSession:
+        if self._session_open:
+            raise RuntimeError(
+                "this sharded backend already has an open histogram session "
+                "(there is a single shared-memory histogram); close it before "
+                "opening another"
+            )
+        view = self._histogram_view()
+        view[:] = initial
+        self._session_open = True
+        return ShardedHistogramSession(self)
+
+    def estimated_memory(self) -> int:
+        return self._resident_bytes(self._context)
+
+    def close(self) -> None:
+        """Shut down the worker pool and unlink the shared-memory histogram."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._executor = None
+        self._shm = None
+        self._view = None
+        self._session_open = False

@@ -15,6 +15,7 @@ Run with::
 from __future__ import annotations
 
 import importlib.util
+import json
 from pathlib import Path
 
 import pytest
@@ -37,10 +38,25 @@ def test_every_benchmark_script_has_a_smoke_entry():
     assert set(run_all.SMOKE_RUNS) == run_all.benchmark_scripts()
 
 
-def test_all_benchmark_scripts_execute():
+def test_all_benchmark_scripts_execute(tmp_path):
     run_all = _load_run_all()
     executed = []
-    for name, result in run_all.iter_smoke_results():
+    for name, result in run_all.iter_smoke_results(json_dir=tmp_path):
         executed.append(name)
         assert "table" in result
     assert sorted(executed) == sorted(run_all.SMOKE_RUNS)
+    # Every run leaves a machine-readable BENCH_<id>.json perf record with
+    # the numbers the cross-PR performance trajectory is tracked by.
+    for name in executed:
+        record_path = tmp_path / f"BENCH_{name.removeprefix('bench_')}.json"
+        assert record_path.exists(), record_path
+        record = json.loads(record_path.read_text())
+        assert record["benchmark"] == name
+        assert record["wall_seconds"] >= 0.0
+        assert record["peak_mib"] >= 0.0
+        assert isinstance(record["backend"], str) and record["backend"]
+    # E16 runs the sharded backend even at smoke size (2 workers).
+    e16 = json.loads(
+        (tmp_path / "BENCH_e16_sharded_evaluation.json").read_text()
+    )
+    assert e16["backend"] == "sharded"

@@ -1,0 +1,316 @@
+"""Backend registry, cost model, and cross-backend parity tests.
+
+Every registered evaluation backend — including the sharded
+multiprocessing backend with 2 workers — must be interchangeable: identical
+instance answers, histogram answers within 1e-9 (bitwise for the sharded
+CSR strategy vs serial sparse), supports that round-trip to the dense query
+vectors, and an automatic choice that agrees with the public cost model.
+The shared-evaluator cache must die with its workload, and custom backends
+registered through the public API must participate in the automatic choice.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.queries.backends import SparseBackend, register_backend, unregister_backend
+from repro.queries.evaluation import (
+    WorkloadEvaluator,
+    auto_evaluator_mode,
+    evaluator_backend_costs,
+    get_default_backend,
+    registered_backends,
+    set_default_backend,
+    shared_evaluator,
+)
+from repro.queries.workload import Workload
+from repro.relational.hypergraph import path3_query, two_table_query
+from repro.relational.instance import Instance
+
+_BUILTIN_BACKENDS = {"dense", "sparse", "sharded", "streaming"}
+
+
+def _random_workload(seed: int) -> Workload:
+    """A randomized mixed workload: marginals + signs + predicates."""
+    rng = np.random.default_rng(seed)
+    if seed % 2 == 0:
+        query = two_table_query(5, 4, 6)
+    else:
+        query = path3_query(3, 4, 3, 2)
+    attribute = query.attribute_names[int(rng.integers(len(query.attribute_names)))]
+    workload = Workload.attribute_marginals(query, attribute)
+    workload = workload.extended(
+        Workload.random_sign(
+            query, int(rng.integers(2, 5)), seed=seed + 1, include_counting=False
+        ).queries
+    )
+    return workload.extended(
+        Workload.random_predicates(
+            query, 2, selectivity=0.4, seed=seed + 2, include_counting=False
+        ).queries
+    )
+
+
+def _random_instance(workload: Workload, rng: np.random.Generator) -> Instance:
+    query = workload.join_query
+    tuples = {}
+    for schema in query.relations:
+        tuples[schema.name] = [
+            tuple(int(rng.integers(size)) for size in schema.shape) for _ in range(30)
+        ]
+    return Instance.from_tuple_lists(query, tuples)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert _BUILTIN_BACKENDS <= set(registered_backends())
+
+    def test_unknown_backend_rejected(self):
+        workload = _random_workload(0)
+        with pytest.raises(ValueError):
+            WorkloadEvaluator(workload, mode="magic")
+        with pytest.raises(ValueError):
+            set_default_backend("magic")
+
+    def test_custom_backend_joins_cost_model(self):
+        """A registered custom backend is constructible and auto-choosable."""
+        workload = _random_workload(0)
+        reference = WorkloadEvaluator(workload, mode="dense")
+        histogram = np.random.default_rng(5).random(workload.join_query.shape)
+
+        @register_backend
+        class EchoBackend(SparseBackend):
+            name = "test-echo"
+            speed_rank = -1  # beats dense, so "auto" must pick it
+
+        try:
+            assert "test-echo" in registered_backends()
+            assert auto_evaluator_mode(workload) == "test-echo"
+            evaluator = WorkloadEvaluator(workload, mode="test-echo")
+            assert np.allclose(
+                evaluator.answers_on_histogram(histogram),
+                reference.answers_on_histogram(histogram),
+                atol=1e-9,
+            )
+        finally:
+            unregister_backend("test-echo")
+        assert "test-echo" not in registered_backends()
+        assert auto_evaluator_mode(workload) == "dense"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestBackendParity:
+    """Property-style parity across every registered backend."""
+
+    def _evaluators(self, workload):
+        evaluators = {
+            name: WorkloadEvaluator(workload, mode=name, workers=2, chunk_size=16)
+            for name in registered_backends()
+        }
+        assert _BUILTIN_BACKENDS <= set(evaluators)
+        return evaluators
+
+    def test_answers_and_supports_agree(self, seed):
+        workload = _random_workload(seed)
+        rng = np.random.default_rng(seed + 10)
+        instance = _random_instance(workload, rng)
+        evaluators = self._evaluators(workload)
+        try:
+            reference_instance = evaluators["dense"].answers_on_instance(instance)
+            histograms = [
+                rng.random(workload.join_query.shape) * 10.0,
+                np.zeros(workload.join_query.shape),
+            ]
+            for histogram in histograms:
+                reference = evaluators["dense"].answers_on_histogram(histogram)
+                scale = max(1.0, float(np.abs(reference).max()))
+                sparse_answers = evaluators["sparse"].answers_on_histogram(histogram)
+                for name, evaluator in evaluators.items():
+                    answers = evaluator.answers_on_histogram(histogram)
+                    assert np.max(np.abs(answers - reference)) <= 1e-9 * scale, name
+                    assert np.array_equal(
+                        evaluator.answers_on_instance(instance), reference_instance
+                    ), name
+                # Row-sharding keeps the sharded CSR strategy bitwise equal
+                # to the serial sparse accumulation, not just 1e-9 close.
+                assert evaluators["sharded"].backend.strategy == "csr"
+                assert np.array_equal(
+                    evaluators["sharded"].answers_on_histogram(histogram), sparse_answers
+                )
+            for index in range(len(workload)):
+                dense_vector = evaluators["dense"].query_values(index)
+                for name, evaluator in evaluators.items():
+                    indices, values = evaluator.query_support(index)
+                    roundtrip = np.zeros(evaluator.domain_size)
+                    roundtrip[indices] = values
+                    assert np.array_equal(roundtrip, dense_vector), (name, index)
+                    assert evaluator.support_size(index) == int(
+                        np.count_nonzero(dense_vector)
+                    ), name
+        finally:
+            for evaluator in evaluators.values():
+                evaluator.close()
+
+    def test_auto_choice_matches_cost_model(self, seed):
+        workload = _random_workload(seed)
+        for kwargs in (
+            {},
+            {"cell_budget": 10},
+            {"cell_budget": 10, "sparse_cell_budget": 10},
+            {"cell_budget": 10, "workers": 2},
+            {"cell_budget": 10, "sparse_cell_budget": 10, "workers": 2},
+        ):
+            chosen = auto_evaluator_mode(workload, **kwargs)
+            costs = evaluator_backend_costs(workload, **kwargs)
+            eligible = [cost for cost in costs if cost.eligible]
+            assert eligible, kwargs
+            assert chosen == min(eligible, key=lambda cost: cost.speed_rank).backend, kwargs
+            constructed = WorkloadEvaluator(workload, **kwargs)
+            assert constructed.mode == chosen, kwargs
+            constructed.close()
+
+
+class TestShardedBackend:
+    def test_chunked_strategy_matches_serial_streaming(self):
+        workload = _random_workload(0)
+        rng = np.random.default_rng(3)
+        histogram = rng.random(workload.join_query.shape) * 5.0
+        serial = WorkloadEvaluator(workload, mode="streaming", chunk_size=16)
+        sharded = WorkloadEvaluator(
+            workload, mode="sharded", workers=2, sparse_cell_budget=1, chunk_size=16
+        )
+        try:
+            assert sharded.backend.strategy == "chunked"
+            reference = serial.answers_on_histogram(histogram)
+            scale = max(1.0, float(np.abs(reference).max()))
+            answers = sharded.answers_on_histogram(histogram)
+            assert np.max(np.abs(answers - reference)) <= 1e-9 * scale
+        finally:
+            sharded.close()
+
+    def test_pmw_selections_bitwise_identical(self):
+        workload = _random_workload(0)
+        rng = np.random.default_rng(4)
+        instance = _random_instance(workload, rng)
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        sharded = WorkloadEvaluator(workload, mode="sharded", workers=2)
+        config = PMWConfig(num_iterations=4)
+        try:
+            results = [
+                private_multiplicative_weights(
+                    instance, workload, 1.0, 1e-5, 2.0,
+                    seed=17, evaluator=evaluator, config=config,
+                )
+                for evaluator in (serial, sharded)
+            ]
+            assert results[0].selected_queries == results[1].selected_queries
+            assert np.array_equal(results[0].histogram, results[1].histogram)
+        finally:
+            sharded.close()
+
+    def test_session_deltas_reach_workers(self):
+        """In-place session writes must be visible to the next evaluation."""
+        workload = _random_workload(0)
+        rng = np.random.default_rng(6)
+        flat = rng.random(workload.join_query.joint_domain_size)
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        sharded = WorkloadEvaluator(workload, mode="sharded", workers=2)
+        try:
+            session = sharded.histogram_session(flat)
+            assert np.array_equal(session.answers(), serial.answers_on_histogram(flat))
+            indices = np.array([0, 2, 5], dtype=np.int64)
+            session.scale_support(indices, np.full(3, 1.5))
+            session.scale(2.0)
+            expected = flat.copy()
+            expected[indices] *= 1.5
+            expected *= 2.0
+            assert np.array_equal(
+                session.answers(), serial.answers_on_histogram(expected)
+            )
+            assert session.total() == pytest.approx(float(expected.sum()))
+            session.close()
+        finally:
+            sharded.close()
+
+    def test_sessions_own_their_array_and_guard_the_shared_histogram(self):
+        workload = _random_workload(0)
+        rng = np.random.default_rng(7)
+        flat = rng.random(workload.join_query.joint_domain_size)
+        pristine = flat.copy()
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        sharded = WorkloadEvaluator(workload, mode="sharded", workers=2)
+        try:
+            # Serial sessions copy the seed: mutations never reach the caller.
+            session = serial.histogram_session(flat)
+            session.scale(2.0)
+            session.fill(0.0)
+            assert np.array_equal(flat, pristine)
+            session.close()
+            # The sharded backend has one shared-memory histogram: while a
+            # session owns it, other evaluations must refuse rather than
+            # silently clobber the session's state.
+            session = sharded.histogram_session(flat)
+            with pytest.raises(RuntimeError):
+                sharded.answers_on_histogram(flat)
+            with pytest.raises(RuntimeError):
+                sharded.histogram_session(flat)
+            session.close()
+            assert np.array_equal(
+                sharded.answers_on_histogram(flat), serial.answers_on_histogram(flat)
+            )
+        finally:
+            sharded.close()
+
+
+class TestSharedEvaluatorCache:
+    def test_same_settings_share_one_evaluator(self):
+        workload = _random_workload(1)
+        assert shared_evaluator(workload) is shared_evaluator(workload)
+
+    def test_distinct_settings_get_distinct_evaluators(self):
+        workload = _random_workload(1)
+        default = shared_evaluator(workload)
+        sparse = shared_evaluator(workload, backend="sparse")
+        assert default is not sparse
+        assert sparse.mode == "sparse"
+        assert shared_evaluator(workload, backend="sparse") is sparse
+
+    def test_entries_evicted_when_workload_collected(self):
+        workload = _random_workload(2)
+        evaluator = shared_evaluator(workload)
+        evaluator_ref = weakref.ref(evaluator)
+        workload_ref = weakref.ref(workload)
+        del evaluator, workload
+        gc.collect()
+        assert workload_ref() is None, "workload kept alive by the evaluator cache"
+        assert evaluator_ref() is None, "cached evaluator outlived its workload"
+
+    def test_default_backend_steers_shared_evaluator(self):
+        workload = _random_workload(1)
+        try:
+            set_default_backend("streaming")
+            assert get_default_backend() == ("streaming", 1)
+            assert shared_evaluator(workload).mode == "streaming"
+        finally:
+            set_default_backend()
+        assert get_default_backend() == ("auto", 1)
+
+    def test_default_worker_count_respected_for_sharded_default(self):
+        """CLI-style defaults must reach shared_evaluator unchanged."""
+        workload = _random_workload(1)
+        try:
+            set_default_backend("sharded", workers=4)
+            evaluator = shared_evaluator(workload)
+            assert evaluator.mode == "sharded"
+            assert evaluator.workers == 4
+            # An explicit sharded request without a worker count still
+            # implies parallelism.
+            explicit = shared_evaluator(workload, backend="sharded")
+            assert explicit.workers == 2
+        finally:
+            set_default_backend()

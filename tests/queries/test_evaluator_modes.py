@@ -86,11 +86,11 @@ class TestModeParity:
                 )
 
     def test_chunked_support_build_matches_dense_build(self, workload, monkeypatch):
-        import repro.queries.evaluation as evaluation
+        import repro.queries.backends as backends
 
         reference = WorkloadEvaluator(workload, mode="sparse")
         # Force the chunked scan (normally reserved for huge joint domains).
-        monkeypatch.setattr(evaluation, "_DENSE_BUILD_BUDGET", 0)
+        monkeypatch.setattr(backends, "_DENSE_BUILD_BUDGET", 0)
         chunked = WorkloadEvaluator(workload, mode="sparse", chunk_size=16)
         for index in range(len(workload)):
             ref_indices, ref_values = reference.query_support(index)
