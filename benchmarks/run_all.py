@@ -54,6 +54,7 @@ from repro.experiments import (  # noqa: E402  (path bootstrap must run first)
     e14_privacy_audit,
     e15_evaluator_scaling,
     e16_sharded_evaluation,
+    e17_streaming_prefetch,
 )
 from repro.queries.evaluation import get_default_backend  # noqa: E402
 
@@ -133,6 +134,21 @@ SMOKE_RUNS: dict[str, tuple] = {
             pmw_rounds=2,
             tuples_per_relation=60,
             chunk_size=256,
+            seed=0,
+        ),
+    ),
+    "bench_e17_streaming_prefetch": (
+        e17_streaming_prefetch.run,
+        dict(
+            size_a=8,
+            size_b=4,
+            size_c=8,
+            num_queries=3,
+            prefetch_depth=2,
+            eval_repeats=1,
+            pmw_rounds=2,
+            tuples_per_relation=60,
+            chunk_size=64,
             seed=0,
         ),
     ),

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run e6              # run one experiment, print its table
     python -m repro.cli run all --seed 1    # run the full suite
     python -m repro.cli run e16 --evaluator-backend sharded --workers 4
+    python -m repro.cli run e17 --evaluator-backend prefetch
     python -m repro.cli demo                # tiny end-to-end quickstart
 
 Every experiment corresponds to a row of the per-experiment index in
@@ -105,7 +106,8 @@ def main(argv: list[str] | None = None) -> int:
             type=_positive_int,
             default=1,
             help="worker processes for the sharded evaluation backend (>= 2 "
-            "also makes 'sharded' eligible for the automatic choice)",
+            "also makes 'sharded' eligible for the automatic choice) and the "
+            "decode look-ahead depth of the 'prefetch' streaming backend",
         )
 
     args = parser.parse_args(argv)

@@ -127,6 +127,22 @@ def _auto_iterations(
     return int(min(max(iterations, config.min_iterations), config.max_iterations))
 
 
+def _renormalize(session, noisy_total: float, domain_size: int) -> None:
+    """Rescale the session histogram back to total mass ``noisy_total``.
+
+    Guarded against degenerate totals: a fully clamped/underflowed
+    histogram reports total 0 and a corrupted one NaN or inf — dividing by
+    either would spread NaN through every cell (and, under the sharded
+    backend, through the shared-memory view all workers read).  Such
+    sessions are reset to the uniform histogram the iterates start from.
+    """
+    total = session.total()
+    if np.isfinite(total) and total > 0.0:
+        session.scale(noisy_total / total)
+    else:
+        session.fill(noisy_total / domain_size)
+
+
 def private_multiplicative_weights(
     instance: Instance,
     workload: Workload,
@@ -258,11 +274,7 @@ def private_multiplicative_weights(
                 support_values * step, -config.update_clip, config.update_clip
             )
             session.scale_support(support_indices, np.exp(exponent))
-            total = session.total()
-            if total <= 0:
-                session.fill(noisy_total / domain_size)
-            else:
-                session.scale(noisy_total / total)
+            _renormalize(session, noisy_total, domain_size)
             average += session.array
     finally:
         session.close()

@@ -1,6 +1,6 @@
 """The experiment harness: one module per reproduced paper artefact.
 
-Every experiment ``E1 ... E16`` of DESIGN.md's per-experiment index lives in
+Every experiment ``E1 ... E17`` of DESIGN.md's per-experiment index lives in
 its own module with a ``run(...)`` function returning a dictionary that always
 contains a ``"table"`` entry (an :class:`repro.analysis.reporting.ExperimentTable`)
 plus experiment-specific raw values that the benchmark suite asserts on.  The
@@ -26,6 +26,7 @@ from repro.experiments import (
     e14_privacy_audit,
     e15_evaluator_scaling,
     e16_sharded_evaluation,
+    e17_streaming_prefetch,
 )
 
 EXPERIMENTS = {
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "e14": e14_privacy_audit.run,
     "e15": e15_evaluator_scaling.run,
     "e16": e16_sharded_evaluation.run,
+    "e17": e17_streaming_prefetch.run,
 }
 
 DESCRIPTIONS = {
@@ -64,6 +66,7 @@ DESCRIPTIONS = {
     "e14": "Lemmas 3.2/3.7/4.1 — empirical privacy audit",
     "e15": "Workload-evaluation engine scaling — dense vs sparse vs streaming",
     "e16": "Sharded multi-process evaluation — parallel speedup with bitwise PMW parity",
+    "e17": "Pipelined streaming evaluation — async chunk prefetch with bitwise parity",
 }
 
 __all__ = ["EXPERIMENTS", "DESCRIPTIONS"]

@@ -21,7 +21,6 @@ parallel speedup, only correctness).
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
@@ -29,17 +28,10 @@ import numpy as np
 from repro.analysis.reporting import ExperimentTable
 from repro.core.pmw import PMWConfig, private_multiplicative_weights
 from repro.experiments.e15_evaluator_scaling import _marginal_workload
+from repro.queries.backends import effective_cpu_count as effective_cores
 from repro.queries.evaluation import WorkloadEvaluator
 from repro.relational.hypergraph import two_table_query
 from repro.relational.instance import Instance
-
-
-def effective_cores() -> int:
-    """CPU cores actually available to this process."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
 
 
 def _random_instance(query, tuples_per_relation: int, rng: np.random.Generator) -> Instance:

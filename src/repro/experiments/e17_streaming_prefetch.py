@@ -1,0 +1,170 @@
+"""E17 — pipelined streaming evaluation vs the serial streaming scan.
+
+The prefetching streaming backend (``mode="prefetch"``, see
+:class:`repro.queries.backends.PrefetchingStreamingBackend`) runs the same
+chunked joint-domain re-scan as the serial streaming backend, but decodes
+chunk ``k+1`` on a background thread while the per-query weight products
+and matvec of chunk ``k`` run on the main thread.  This experiment builds a
+small sign workload over a multi-chunk joint domain — small enough that the
+flat-to-multi decode is a real fraction of each chunk's work, which is
+exactly the regime where streaming wins and pipelining pays — and records
+
+* per-evaluation wall time for both backends and the pipeline speedup,
+* the maximum answer deviation (the iterator fixes chunk and accumulation
+  order regardless of the prefetch depth, so this must be exactly zero —
+  the answers are bitwise identical, not merely close),
+* whether two PMW runs — one per backend, same seed — select bitwise
+  identical query sequences and produce bitwise identical histograms,
+* the automatic choice on streaming-scale budgets: ``auto`` must pick
+  ``prefetch`` over ``streaming`` exactly when a second core is available.
+
+The benchmark (``benchmarks/bench_e17_streaming_prefetch.py``) asserts the
+bitwise-parity properties unconditionally and the ≥ 1.3× speedup whenever
+the host actually exposes ≥ 2 cores (a single-core runner cannot overlap
+decode with compute, only verify correctness).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.experiments.e16_sharded_evaluation import _random_instance
+from repro.queries.backends import effective_cpu_count as effective_cores
+from repro.queries.evaluation import WorkloadEvaluator, auto_evaluator_mode
+from repro.queries.workload import Workload
+from repro.relational.hypergraph import two_table_query
+
+
+def _time_evaluations(
+    evaluator: WorkloadEvaluator, histogram: np.ndarray, repeats: int
+) -> tuple[np.ndarray, float]:
+    """Warm the backend, then time ``repeats`` histogram evaluations."""
+    answers = evaluator.answers_on_histogram(histogram)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        answers = evaluator.answers_on_histogram(histogram)
+    seconds = (time.perf_counter() - start) / max(repeats, 1)
+    return answers, seconds
+
+
+def run(
+    *,
+    size_a: int = 128,
+    size_b: int = 32,
+    size_c: int = 128,
+    num_queries: int = 1,
+    prefetch_depth: int = 1,
+    eval_repeats: int = 10,
+    pmw_rounds: int = 4,
+    tuples_per_relation: int = 1000,
+    chunk_size: int = 1 << 16,
+    histogram_total: float = 4000.0,
+    epsilon: float = 1.0,
+    delta: float = 1e-5,
+    seed: int = 0,
+) -> dict:
+    """Profile serial vs pipelined streaming on one sign workload."""
+    rng = np.random.default_rng(seed)
+    query = two_table_query(size_a, size_b, size_c)
+    # A small sign workload (plus the counting query) keeps the per-chunk
+    # compute comparable to the per-chunk decode — the decode-bound regime
+    # streaming actually runs in once per-query state no longer fits, and
+    # the one where overlapping the two stages pays the most.
+    workload = Workload.random_sign(query, num_queries, seed=seed)
+    cores = effective_cores()
+    num_chunks = -(-query.joint_domain_size // chunk_size)
+
+    histogram = rng.random(query.shape)
+    histogram *= histogram_total / histogram.sum()
+
+    serial = WorkloadEvaluator(workload, mode="streaming", chunk_size=chunk_size)
+    pipelined = WorkloadEvaluator(
+        workload, mode="prefetch", workers=prefetch_depth, chunk_size=chunk_size
+    )
+
+    reference, serial_seconds = _time_evaluations(serial, histogram, eval_repeats)
+    answers, pipelined_seconds = _time_evaluations(pipelined, histogram, eval_repeats)
+
+    max_abs_diff = float(np.max(np.abs(answers - reference)))
+    answers_bitwise = bool(np.array_equal(answers, reference))
+    speedup = serial_seconds / max(pipelined_seconds, 1e-12)
+
+    # PMW reproducibility: same seed, same instance, both scans must walk
+    # bitwise-identical query selections and histograms.
+    instance = _random_instance(query, tuples_per_relation, rng)
+    pmw_config = PMWConfig(num_iterations=pmw_rounds)
+    pmw_serial = private_multiplicative_weights(
+        instance, workload, epsilon, delta, 1.0,
+        seed=seed, evaluator=serial, config=pmw_config,
+    )
+    pmw_pipelined = private_multiplicative_weights(
+        instance, workload, epsilon, delta, 1.0,
+        seed=seed, evaluator=pipelined, config=pmw_config,
+    )
+    selections_match = pmw_serial.selected_queries == pmw_pipelined.selected_queries
+    histograms_match = bool(np.array_equal(pmw_serial.histogram, pmw_pipelined.histogram))
+
+    # On streaming-scale budgets the automatic choice must upgrade to the
+    # pipelined scan exactly when a second core exists to decode on.
+    auto_mode = auto_evaluator_mode(workload, cell_budget=0, sparse_cell_budget=0)
+    auto_consistent = auto_mode == ("prefetch" if cores >= 2 else "streaming")
+
+    rows = [
+        {
+            "backend": "streaming",
+            "depth": 0,
+            "eval_seconds": serial_seconds,
+            "estimated_mib": serial.estimated_memory() / 2**20,
+        },
+        {
+            "backend": "prefetch",
+            "depth": prefetch_depth,
+            "eval_seconds": pipelined_seconds,
+            "estimated_mib": pipelined.estimated_memory() / 2**20,
+        },
+    ]
+    table = ExperimentTable(
+        title=(
+            "E17: pipelined streaming — "
+            f"|Q|={len(workload)}, |D|={query.joint_domain_size}, "
+            f"chunks={num_chunks}, cores={cores}, "
+            f"speedup={speedup:.2f}x, "
+            f"answers {'bitwise' if answers_bitwise else 'DIVERGE'}, "
+            f"PMW selections {'match' if selections_match else 'DIVERGE'}"
+        ),
+        columns=["backend", "prefetch depth", "eval (s)", "est. resident (MiB)"],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["backend"],
+                row["depth"],
+                round(row["eval_seconds"], 4),
+                round(row["estimated_mib"], 3),
+            ]
+        )
+
+    return {
+        "table": table,
+        "rows": rows,
+        "backend": "prefetch",
+        "num_queries": len(workload),
+        "domain_size": query.joint_domain_size,
+        "num_chunks": num_chunks,
+        "prefetch_depth": prefetch_depth,
+        "effective_cores": cores,
+        "serial_eval_seconds": serial_seconds,
+        "pipelined_eval_seconds": pipelined_seconds,
+        "speedup": speedup,
+        "max_abs_diff": max_abs_diff,
+        "answers_bitwise": answers_bitwise,
+        "selections_match": selections_match,
+        "histograms_match": histograms_match,
+        "auto_mode": auto_mode,
+        "auto_consistent": auto_consistent,
+        "selected_queries": list(pmw_serial.selected_queries),
+    }

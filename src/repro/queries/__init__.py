@@ -6,7 +6,7 @@ join size ``Σ_t ρ(t)·Π_i q_i(t_i)·R_i(t_i)``.  This subpackage provides the
 query objects, standard workload families (counting, predicates, marginals,
 ranges, random signs), and exact evaluation against both instances and
 released synthetic datasets through the pluggable evaluation-backend
-registry (dense / sparse / sharded / streaming).
+registry (dense / sparse / sharded / streaming / prefetching-streaming).
 """
 
 from repro.queries.linear import ProductQuery, TableQuery, all_one_query, counting_query

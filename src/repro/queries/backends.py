@@ -25,9 +25,9 @@ choice is an explicit cost model (:func:`backend_costs` /
 an estimated memory footprint against the configured budgets, and the
 cheapest-per-evaluation eligible backend wins (``speed_rank`` orders the
 per-evaluation cost: dense matmul < sharded parallel matvec < serial CSR
-matvec < chunked streaming re-scan).  Registering a custom backend class is
-enough for ``mode="auto"``, the CLI flags, and the parity test-suite to
-pick it up.
+matvec < pipelined streaming re-scan < serial streaming re-scan).
+Registering a custom backend class is enough for ``mode="auto"``, the CLI
+flags, and the parity test-suite to pick it up.
 
 Shared machinery (exact support-size einsums, chunk plans, chunked support
 construction) lives in :class:`EvaluatorContext`, which every backend
@@ -37,6 +37,9 @@ strategy itself.
 
 from __future__ import annotations
 
+import os
+import queue
+import threading
 from dataclasses import dataclass
 from typing import ClassVar, Iterator
 
@@ -58,6 +61,99 @@ _DENSE_BUILD_BUDGET = 4_000_000
 
 #: Default joint-domain chunk length for streaming scans.
 _DEFAULT_CHUNK_SIZE = 1 << 18
+
+
+def effective_cpu_count() -> int:
+    """CPU cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+#: Sentinel the decode thread enqueues after the last chunk.
+_DECODE_DONE = object()
+
+
+def iter_decoded_chunks(
+    shape: tuple[int, ...],
+    start: int,
+    stop: int,
+    chunk_size: int,
+    *,
+    prefetch: int = 0,
+) -> Iterator[tuple[int, int, tuple[np.ndarray, ...]]]:
+    """Yield ``(chunk_start, chunk_stop, multi)`` over ``[start, stop)``.
+
+    ``multi`` is the flat-to-multi index decode of the chunk — the buffer
+    every query scanning the chunk shares, so the decode happens once per
+    chunk, never once per query (or per shard).
+
+    With ``prefetch == 0`` chunks are decoded inline.  With
+    ``prefetch >= 1`` a background thread decodes up to ``prefetch`` chunks
+    ahead of the consumer through a bounded queue, so the decode of chunk
+    ``k+1`` overlaps the per-query weight products and matvec of chunk
+    ``k`` (``np.unravel_index``/``np.arange`` release the GIL on
+    large-enough chunks).  The yielded triples — and therefore any
+    accumulation order built on them — are identical in both settings;
+    only the wall-clock overlap changes.  Abandoning the iterator early
+    (``break``, exception) cancels and joins the decode thread; decode
+    failures re-raise in the consumer.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    bounds = [
+        (lo, min(lo + chunk_size, stop)) for lo in range(start, stop, chunk_size)
+    ]
+
+    def decode(lo: int, hi: int) -> tuple[int, int, tuple[np.ndarray, ...]]:
+        return (lo, hi, np.unravel_index(np.arange(lo, hi, dtype=np.int64), shape))
+
+    if prefetch <= 0 or len(bounds) <= 1:
+        for lo, hi in bounds:
+            yield decode(lo, hi)
+        return
+
+    slots: queue.Queue = queue.Queue(maxsize=int(prefetch))
+    cancelled = threading.Event()
+
+    def put(item) -> bool:
+        """Enqueue, backing off while full so cancellation stays responsive."""
+        while not cancelled.is_set():
+            try:
+                slots.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def produce() -> None:
+        try:
+            for lo, hi in bounds:
+                if not put(decode(lo, hi)):
+                    return
+            put(_DECODE_DONE)
+        except BaseException as error:  # noqa: BLE001  (re-raised in the consumer)
+            put(error)
+
+    thread = threading.Thread(target=produce, name="repro-chunk-decode", daemon=True)
+    thread.start()
+    try:
+        while True:
+            item = slots.get()
+            if item is _DECODE_DONE:
+                break
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+    finally:
+        cancelled.set()
+        while True:  # drain so a blocked put wakes promptly
+            try:
+                slots.get_nowait()
+            except queue.Empty:
+                break
+        thread.join()
 
 
 def streaming_scratch_bytes(context: "EvaluatorContext") -> int:
@@ -109,6 +205,22 @@ class EvaluatorContext:
     @property
     def num_queries(self) -> int:
         return len(self.workload)
+
+    def validated_flat(self, histogram: np.ndarray) -> np.ndarray:
+        """``histogram`` as a flat float64 vector, or raise on a size mismatch.
+
+        The single validation gate in front of every histogram evaluation:
+        the :class:`~repro.queries.evaluation.WorkloadEvaluator` facade and
+        the backends that write into owned storage (the sharded backend's
+        shared-memory segment) both route through it, so a wrong-length or
+        scalar input fails loudly instead of broadcasting.
+        """
+        flat = np.asarray(histogram, dtype=float).reshape(-1)
+        if flat.size != self.domain_size:
+            raise ValueError(
+                f"histogram has {flat.size} cells, expected {self.domain_size}"
+            )
+        return flat
 
     # ------------------------------------------------------------------ #
     # support sizes
@@ -313,10 +425,36 @@ class EvaluationBackend:
 
     def __init__(self, context: EvaluatorContext):
         self._context = context
+        # The backend's own effective count: normalised at construction so a
+        # directly built backend and the facade paths (WorkloadEvaluator,
+        # shared_evaluator) cannot disagree, without mutating the caller's
+        # context (whose config keeps answering cost queries as configured).
+        self._workers = self.normalize_workers(context.config.workers)
         self._supports: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._cached_support_entries = 0
 
+    @property
+    def workers(self) -> int:
+        """The effective worker count this backend runs with."""
+        return self._workers
+
     # -- cost model -------------------------------------------------------
+    @classmethod
+    def normalize_workers(cls, workers: int) -> int:
+        """The effective worker count for a requested one.
+
+        Backends with a parallelism floor (the sharded backend implies at
+        least two workers) override this; every construction path — direct
+        backend construction, ``WorkloadEvaluator``, ``shared_evaluator`` —
+        normalises through it, so the invariant lives in exactly one place.
+        Invalid counts are rejected, not clamped: a floor is a documented
+        convenience, silently absorbing a caller's typo is not.
+        """
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        return workers
+
     @classmethod
     def is_eligible(cls, context: EvaluatorContext) -> bool:
         raise NotImplementedError
@@ -557,13 +695,24 @@ class StreamingBackend(EvaluationBackend):
             memory_bytes=streaming_scratch_bytes(context),
         )
 
+    def _prefetch_depth(self) -> int:
+        """How many chunks the decode may run ahead of the matvec (0 = inline)."""
+        return 0
+
     def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
         context = self._context
         answers = np.zeros(context.num_queries, dtype=np.float64)
-        for start in range(0, context.domain_size, context.config.chunk_size):
-            stop = min(start + context.config.chunk_size, context.domain_size)
+        # Chunk order and the per-chunk/per-query accumulation order are
+        # fixed by the iterator regardless of the prefetch depth, so the
+        # serial and pipelined scans produce bitwise-identical answers.
+        for start, stop, multi in iter_decoded_chunks(
+            context.shape,
+            0,
+            context.domain_size,
+            context.config.chunk_size,
+            prefetch=self._prefetch_depth(),
+        ):
             chunk = flat[start:stop]
-            multi = np.unravel_index(np.arange(start, stop, dtype=np.int64), context.shape)
             for index in range(context.num_queries):
                 answers[index] += float(
                     context.values_on_chunk(index, start, stop, multi=multi) @ chunk
@@ -572,3 +721,51 @@ class StreamingBackend(EvaluationBackend):
 
     def estimated_memory(self) -> int:
         return streaming_scratch_bytes(self._context)
+
+
+@register_backend
+class PrefetchingStreamingBackend(StreamingBackend):
+    """Pipelined streaming: chunk decode double-buffered on a background thread.
+
+    Identical chunked re-scan to :class:`StreamingBackend` — same bounded
+    memory, same accumulation order, bitwise-identical answers — but the
+    flat-to-multi decode of chunk ``k+1`` runs on a decode thread while the
+    main thread computes the per-query weight products and matvec of chunk
+    ``k``.  One decoded multi-index buffer is shared by every query in a
+    chunk, so decode work is per chunk, not per query.  The ``workers``
+    knob sets the look-ahead depth (how many decoded chunks may be in
+    flight); the default of 1 is classic double buffering.
+
+    Eligible for the automatic choice whenever the host has a second core
+    to decode on; ranked just ahead of the serial streaming scan, so
+    ``mode="auto"`` picks it exactly where streaming would otherwise win.
+    """
+
+    name = "prefetch"
+    speed_rank = 90
+
+    @classmethod
+    def is_eligible(cls, context: EvaluatorContext) -> bool:
+        return effective_cpu_count() >= 2
+
+    @classmethod
+    def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        return BackendCost(
+            backend=cls.name,
+            eligible=cls.is_eligible(context),
+            speed_rank=cls.speed_rank,
+            memory_bytes=cls._scratch_bytes(context),
+        )
+
+    @classmethod
+    def _scratch_bytes(cls, context: EvaluatorContext) -> int:
+        # Peak in-flight decoded chunks: `depth` queued, one in the decode
+        # thread's hand (decoded before a blocked put), one being consumed.
+        depth = max(1, context.config.workers)
+        return streaming_scratch_bytes(context) * (depth + 2)
+
+    def _prefetch_depth(self) -> int:
+        return self._workers
+
+    def estimated_memory(self) -> int:
+        return self._scratch_bytes(self._context)

@@ -27,6 +27,14 @@ algorithms never care which one is active:
     fixed-size chunks and recompute query values on the fly.  Slowest, but
     the extra memory is bounded by the chunk size regardless of ``|Q|`` or
     ``|D|``.
+``prefetch``
+    The streaming re-scan pipelined: a background thread decodes chunk
+    ``k+1`` while the per-query weight products and matvec of chunk ``k``
+    run, so the two stages overlap instead of alternating.  Answers are
+    bitwise identical to ``streaming``; memory stays chunk-bounded (one
+    extra in-flight chunk per unit of look-ahead, set by ``workers``).
+    Auto-eligible whenever the host has at least two cores, ranked just
+    ahead of the serial streaming scan.
 
 The default (``mode="auto"``) runs the registry's explicit cost model
 (:func:`~repro.queries.backends.choose_backend`): every registered backend
@@ -157,8 +165,8 @@ class WorkloadEvaluator:
         ``mode``.
     mode / backend:
         ``"auto"`` or any registered backend name (``"dense"``,
-        ``"sparse"``, ``"sharded"``, ``"streaming"``, plus custom
-        registrations); see the module docstring for the trade-offs.
+        ``"sparse"``, ``"sharded"``, ``"streaming"``, ``"prefetch"``, plus
+        custom registrations); see the module docstring for the trade-offs.
         ``backend`` is an alias of ``mode`` matching the release-algorithm
         knob; when neither is given the process-wide default applies.
         ``"auto"`` (the default) runs the registry cost model and picks the
@@ -170,8 +178,9 @@ class WorkloadEvaluator:
         Joint-domain chunk length used by streaming scans and chunked
         support construction.
     workers:
-        Worker-process count for the sharded backend; ``workers >= 2``
-        also makes ``sharded`` eligible for the automatic choice.
+        Worker-process count for the sharded backend (``workers >= 2``
+        also makes ``sharded`` eligible for the automatic choice) and the
+        decode look-ahead depth of the prefetching streaming backend.
     """
 
     def __init__(
@@ -200,12 +209,14 @@ class WorkloadEvaluator:
                 name, default_workers = get_default_backend()
                 if workers is None:
                     workers = default_workers
-        if name != "auto":
-            backend_class(name)  # raises on unknown names
         if workers is None:
             workers = 1
-        if name == "sharded" and workers < 2:
-            workers = 2  # sharded implies parallelism
+        if name != "auto":
+            # Raises on unknown names; the backend class's own invariant
+            # (e.g. sharded's >= 2 floor) decides the effective worker
+            # count, so this facade, shared_evaluator, and direct backend
+            # construction all agree.
+            workers = backend_class(name).normalize_workers(workers)
         self._workload = workload
         self._requested = name
         self._context = EvaluatorContext(
@@ -312,12 +323,7 @@ class WorkloadEvaluator:
         return np.array([query.evaluate(instance) for query in self._workload], dtype=float)
 
     def _validated_flat(self, histogram: np.ndarray) -> np.ndarray:
-        flat = np.asarray(histogram, dtype=float).reshape(-1)
-        if flat.size != self._context.domain_size:
-            raise ValueError(
-                f"histogram has {flat.size} cells, expected {self._context.domain_size}"
-            )
-        return flat
+        return self._context.validated_flat(histogram)
 
     def answers_on_histogram(self, histogram: np.ndarray) -> np.ndarray:
         """Answers ``q(F)`` for every query against a joint-domain histogram."""
@@ -453,8 +459,10 @@ def shared_evaluator(
         # An unset worker count follows the process default only when the
         # backend does too; an explicit backend starts from serial.
         workers = default_workers if backend is None else 1
-    if name == "sharded" and workers < 2:
-        workers = 2  # sharded implies parallelism
+    if name != "auto":
+        # Canonicalise through the backend's worker invariant (sharded's
+        # >= 2 floor) so equivalent requests share one cache entry.
+        workers = backend_class(name).normalize_workers(workers)
     key = (name, int(workers))
     cache: dict[tuple[str, int], WorkloadEvaluator] | None = getattr(
         workload, _CACHE_ATTRIBUTE, None

@@ -48,6 +48,7 @@ from repro.queries.backends import (
     EvaluatorContext,
     HistogramSession,
     SparseBackend,
+    iter_decoded_chunks,
     register_backend,
     streaming_scratch_bytes,
 )
@@ -96,14 +97,15 @@ def _eval_shard(key: int, shard_id: int) -> np.ndarray:
             rows, weights=values * histogram[indices], minlength=num_queries
         )
     start, end = state["ranges"][shard_id]
-    chunk_size = state["chunk_size"]
-    shape = state["shape"]
     answers = np.zeros(num_queries, dtype=np.float64)
-    for chunk_start in range(start, end, chunk_size):
-        chunk_stop = min(chunk_start + chunk_size, end)
-        multi = np.unravel_index(
-            np.arange(chunk_start, chunk_stop, dtype=np.int64), shape
-        )
+    # The same prefetch iterator as the streaming backends: each worker
+    # decodes its next chunk on a background thread while the weight
+    # products and matvec of the current one run, and the decoded
+    # multi-index buffer is shared by every query in the chunk.  Chunk and
+    # accumulation order are unchanged, so answers stay deterministic.
+    for chunk_start, chunk_stop, multi in iter_decoded_chunks(
+        state["shape"], start, end, state["chunk_size"], prefetch=1
+    ):
         chunk = histogram[chunk_start:chunk_stop]
         for index, plan in enumerate(state["plans"]):
             values = np.ones(chunk_stop - chunk_start, dtype=np.float64)
@@ -122,6 +124,11 @@ def _shutdown(executor: ProcessPoolExecutor, shm: shared_memory.SharedMemory, ke
     _WORKER_STATES.pop(key, None)
     try:
         shm.close()
+    except Exception:
+        pass
+    try:
+        # Unlink independently of close(): a still-exported buffer view must
+        # not leave the segment behind in /dev/shm.
         shm.unlink()
     except Exception:
         pass
@@ -157,7 +164,6 @@ class ShardedBackend(SparseBackend):
 
     def __init__(self, context: EvaluatorContext):
         super().__init__(context)
-        self._workers = max(2, context.config.workers)
         self._executor: ProcessPoolExecutor | None = None
         self._shm: shared_memory.SharedMemory | None = None
         self._view: np.ndarray | None = None
@@ -167,6 +173,11 @@ class ShardedBackend(SparseBackend):
         self._session_open = False
 
     # -- cost model -------------------------------------------------------
+    @classmethod
+    def normalize_workers(cls, workers: int) -> int:
+        """Sharded implies parallelism: the worker count floors at two."""
+        return max(2, super().normalize_workers(workers))
+
     @classmethod
     def is_eligible(cls, context: EvaluatorContext) -> bool:
         # Only the explicit ``workers`` knob opts into spawning processes;
@@ -178,13 +189,16 @@ class ShardedBackend(SparseBackend):
         """One formula for both the cost model and ``estimated_memory``.
 
         Uses the worker count a built backend would actually run with
-        (``max(2, config.workers)``, since sharded implies parallelism).
+        (:meth:`normalize_workers`, since sharded implies parallelism).
         """
-        workers = max(2, context.config.workers)
+        workers = cls.normalize_workers(context.config.workers)
         if context.supports_fit_budget():
             resident = 16 * context.total_support_size()
         else:
-            resident = streaming_scratch_bytes(context) * workers
+            # Each chunked-strategy worker pipelines its scan (prefetch=1 in
+            # ``_eval_shard``): one chunk being consumed, one queued, one in
+            # the decode thread's hand.
+            resident = streaming_scratch_bytes(context) * workers * 3
         return resident + 8 * context.domain_size
 
     @classmethod
@@ -201,10 +215,6 @@ class ShardedBackend(SparseBackend):
     def strategy(self) -> str:
         """``"csr"`` while the supports fit the sparse budget, else ``"chunked"``."""
         return "csr" if self._context.supports_fit_budget() else "chunked"
-
-    @property
-    def workers(self) -> int:
-        return self._workers
 
     def query_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         if self.strategy == "csr":
@@ -273,28 +283,44 @@ class ShardedBackend(SparseBackend):
             self._csr_shards() if self.strategy == "csr" else self._chunk_shards()
         )
         shm = shared_memory.SharedMemory(create=True, size=max(8 * context.domain_size, 8))
-        view = np.ndarray((context.domain_size,), dtype=np.float64, buffer=shm.buf)
-        state["histogram"] = view
         key = next(_BACKEND_KEYS)
-        # Under fork the workers inherit this entry (and the shm mapping)
-        # copy-on-write; nothing is pickled.  Under spawn the initializer
-        # rebuilds it from the pickled payload.
-        _WORKER_STATES[key] = state
-        # Fork only where it is the platform's default start method (Linux):
-        # on macOS fork is *available* but unsafe with threads/Accelerate,
-        # which is exactly why spawn is the default there.
-        use_fork = multiprocessing.get_start_method() == "fork"
-        payload = (
-            None
-            if use_fork
-            else {name: value for name, value in state.items() if name != "histogram"}
-        )
-        executor = ProcessPoolExecutor(
-            max_workers=self._workers,
-            mp_context=multiprocessing.get_context("fork" if use_fork else "spawn"),
-            initializer=_init_worker,
-            initargs=(key, shm.name, context.domain_size, payload),
-        )
+        try:
+            view = np.ndarray((context.domain_size,), dtype=np.float64, buffer=shm.buf)
+            state["histogram"] = view
+            # Under fork the workers inherit this entry (and the shm mapping)
+            # copy-on-write; nothing is pickled.  Under spawn the initializer
+            # rebuilds it from the pickled payload.
+            _WORKER_STATES[key] = state
+            # Fork only where it is the platform's default start method (Linux):
+            # on macOS fork is *available* but unsafe with threads/Accelerate,
+            # which is exactly why spawn is the default there.
+            use_fork = multiprocessing.get_start_method() == "fork"
+            payload = (
+                None
+                if use_fork
+                else {name: value for name, value in state.items() if name != "histogram"}
+            )
+            executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=multiprocessing.get_context("fork" if use_fork else "spawn"),
+                initializer=_init_worker,
+                initargs=(key, shm.name, context.domain_size, payload),
+            )
+        except BaseException:
+            # A failure between segment creation and pool start must not
+            # leave the segment behind in /dev/shm (or a stale state entry).
+            _WORKER_STATES.pop(key, None)
+            state.pop("histogram", None)
+            view = None  # drop the buffer export before closing the mapping
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+            raise
         self._executor = executor
         self._shm = shm
         self._view = view
@@ -329,8 +355,15 @@ class ShardedBackend(SparseBackend):
                 "the shared-memory histogram; evaluate through the session or "
                 "close it first"
             )
+        # Validate before starting the pool or touching the shared segment:
+        # ``view[:] =`` would otherwise broadcast scalars (silently) or fail
+        # with an obscure shape error on wrong-length inputs.
+        flat = self._context.validated_flat(flat)
         view = self._histogram_view()
         if flat is not view:
+            # An overlapping view of the segment (validated_flat returns the
+            # input's reshape) is still copied: numpy buffers overlapping
+            # assignments, and e.g. a reversed view must actually land.
             view[:] = flat
         return self._dispatch()
 
@@ -341,6 +374,7 @@ class ShardedBackend(SparseBackend):
                 "(there is a single shared-memory histogram); close it before "
                 "opening another"
             )
+        initial = self._context.validated_flat(initial)
         view = self._histogram_view()
         view[:] = initial
         self._session_open = True

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.core.pmw import PMWConfig, _renormalize, private_multiplicative_weights
 from repro.queries.evaluation import WorkloadEvaluator
 from repro.queries.workload import Workload
 from repro.relational.hypergraph import two_table_query
@@ -228,3 +228,40 @@ class TestUtility:
         pmw_error = np.max(np.abs(released - true_answers))
         uniform_error = np.max(np.abs(uniform_answers - true_answers))
         assert pmw_error < uniform_error
+
+
+class TestRenormalisation:
+    """Regression: degenerate histogram totals must not propagate NaN.
+
+    The renormalisation divides by the session total; a fully clamped (or
+    underflowed) histogram reports total 0 and a corrupted one NaN or inf.
+    Dividing by either would poison every cell — and, under the sharded
+    backend, the shared-memory view all workers read — so such sessions are
+    reset to the uniform start histogram instead.
+    """
+
+    def _session(self, query, value):
+        workload = Workload.random_sign(query, 4, seed=0)
+        evaluator = WorkloadEvaluator(workload, mode="sparse")
+        return evaluator.histogram_session(
+            np.full(query.joint_domain_size, value, dtype=float)
+        )
+
+    def test_zero_total_resets_to_uniform(self, query):
+        session = self._session(query, 0.0)
+        _renormalize(session, 64.0, query.joint_domain_size)
+        assert np.all(np.isfinite(session.array))
+        assert np.all(session.array == 64.0 / query.joint_domain_size)
+
+    def test_nonfinite_total_resets_to_uniform(self, query):
+        for poison in (np.nan, np.inf):
+            session = self._session(query, poison)
+            _renormalize(session, 64.0, query.joint_domain_size)
+            assert np.all(np.isfinite(session.array)), poison
+            assert session.total() == pytest.approx(64.0), poison
+
+    def test_positive_total_rescales_mass(self, query):
+        session = self._session(query, 2.0)
+        _renormalize(session, 64.0, query.joint_domain_size)
+        assert session.total() == pytest.approx(64.0)
+        assert np.all(session.array == 64.0 / query.joint_domain_size)

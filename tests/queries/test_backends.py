@@ -18,7 +18,15 @@ import numpy as np
 import pytest
 
 from repro.core.pmw import PMWConfig, private_multiplicative_weights
-from repro.queries.backends import SparseBackend, register_backend, unregister_backend
+from repro.queries.backends import (
+    EvaluatorConfig,
+    EvaluatorContext,
+    SparseBackend,
+    iter_decoded_chunks,
+    register_backend,
+    unregister_backend,
+)
+from repro.queries.sharded import ShardedBackend
 from repro.queries.evaluation import (
     WorkloadEvaluator,
     auto_evaluator_mode,
@@ -32,7 +40,7 @@ from repro.queries.workload import Workload
 from repro.relational.hypergraph import path3_query, two_table_query
 from repro.relational.instance import Instance
 
-_BUILTIN_BACKENDS = {"dense", "sparse", "sharded", "streaming"}
+_BUILTIN_BACKENDS = {"dense", "sparse", "sharded", "streaming", "prefetch"}
 
 
 def _random_workload(seed: int) -> Workload:
@@ -141,6 +149,12 @@ class TestBackendParity:
                 assert evaluators["sharded"].backend.strategy == "csr"
                 assert np.array_equal(
                     evaluators["sharded"].answers_on_histogram(histogram), sparse_answers
+                )
+                # The pipelined scan shares the serial streaming scan's chunk
+                # and accumulation order, so it too is bitwise identical.
+                assert np.array_equal(
+                    evaluators["prefetch"].answers_on_histogram(histogram),
+                    evaluators["streaming"].answers_on_histogram(histogram),
                 )
             for index in range(len(workload)):
                 dense_vector = evaluators["dense"].query_values(index)
@@ -314,3 +328,193 @@ class TestSharedEvaluatorCache:
             assert explicit.workers == 2
         finally:
             set_default_backend()
+
+    def test_worker_counts_canonicalised_in_cache_key(self):
+        """Equivalent requests (sharded w=1 vs w=2) share one cache entry."""
+        workload = _random_workload(1)
+        assert shared_evaluator(workload, backend="sharded", workers=1) is (
+            shared_evaluator(workload, backend="sharded", workers=2)
+        )
+
+
+class TestChunkIterator:
+    """The shared decoded-chunk iterator behind the streaming backends."""
+
+    def test_prefetch_yields_identical_triples(self):
+        shape = (5, 3, 4)
+        serial = list(iter_decoded_chunks(shape, 0, 60, 7, prefetch=0))
+        for depth in (1, 2, 5):
+            pipelined = list(iter_decoded_chunks(shape, 0, 60, 7, prefetch=depth))
+            assert len(pipelined) == len(serial)
+            for (lo, hi, multi), (plo, phi, pmulti) in zip(serial, pipelined):
+                assert (lo, hi) == (plo, phi)
+                for axis, paxis in zip(multi, pmulti):
+                    assert np.array_equal(axis, paxis)
+
+    def test_partial_ranges_and_tail_chunk(self):
+        chunks = list(iter_decoded_chunks((4, 4), 3, 14, 5, prefetch=1))
+        assert [(lo, hi) for lo, hi, _ in chunks] == [(3, 8), (8, 13), (13, 14)]
+        lo, hi, multi = chunks[-1]
+        assert np.array_equal(multi[0], [3]) and np.array_equal(multi[1], [1])
+
+    def test_early_abandonment_joins_decode_thread(self):
+        import threading
+
+        iterator = iter_decoded_chunks((8, 8), 0, 64, 4, prefetch=2)
+        next(iterator)
+        iterator.close()
+        assert not any(
+            thread.name == "repro-chunk-decode" and thread.is_alive()
+            for thread in threading.enumerate()
+        )
+
+    def test_decode_errors_reraise_in_consumer(self):
+        # stop beyond the domain size makes np.unravel_index fail on the
+        # decode thread; the error must surface at the consumer.
+        with pytest.raises(ValueError):
+            list(iter_decoded_chunks((4, 4), 0, 32, 4, prefetch=1))
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            next(iter_decoded_chunks((4, 4), 0, 16, 0))
+
+
+class TestPrefetchingBackend:
+    def test_bitwise_parity_with_serial_streaming(self):
+        workload = _random_workload(2)
+        rng = np.random.default_rng(11)
+        histogram = rng.random(workload.join_query.shape) * 3.0
+        serial = WorkloadEvaluator(workload, mode="streaming", chunk_size=8)
+        reference = serial.answers_on_histogram(histogram)
+        for depth in (1, 3):
+            pipelined = WorkloadEvaluator(
+                workload, mode="prefetch", workers=depth, chunk_size=8
+            )
+            assert np.array_equal(
+                pipelined.answers_on_histogram(histogram), reference
+            ), depth
+
+    def test_auto_upgrades_streaming_iff_multicore(self, monkeypatch):
+        workload = _random_workload(0)
+        streaming_budgets = {"cell_budget": 0, "sparse_cell_budget": 0}
+        monkeypatch.setattr("repro.queries.backends.effective_cpu_count", lambda: 4)
+        assert auto_evaluator_mode(workload, **streaming_budgets) == "prefetch"
+        monkeypatch.setattr("repro.queries.backends.effective_cpu_count", lambda: 1)
+        assert auto_evaluator_mode(workload, **streaming_budgets) == "streaming"
+
+    def test_estimated_memory_grows_with_lookahead(self):
+        workload = _random_workload(0)
+        streaming = WorkloadEvaluator(workload, mode="streaming", chunk_size=16)
+        shallow = WorkloadEvaluator(workload, mode="prefetch", workers=1, chunk_size=16)
+        deep = WorkloadEvaluator(workload, mode="prefetch", workers=3, chunk_size=16)
+        assert streaming.estimated_memory() < shallow.estimated_memory()
+        assert shallow.estimated_memory() < deep.estimated_memory()
+
+    def test_pmw_selections_bitwise_identical(self):
+        workload = _random_workload(1)
+        rng = np.random.default_rng(13)
+        instance = _random_instance(workload, rng)
+        serial = WorkloadEvaluator(workload, mode="streaming", chunk_size=16)
+        pipelined = WorkloadEvaluator(workload, mode="prefetch", chunk_size=16)
+        config = PMWConfig(num_iterations=4)
+        results = [
+            private_multiplicative_weights(
+                instance, workload, 1.0, 1e-5, 2.0,
+                seed=23, evaluator=evaluator, config=config,
+            )
+            for evaluator in (serial, pipelined)
+        ]
+        assert results[0].selected_queries == results[1].selected_queries
+        assert np.array_equal(results[0].histogram, results[1].histogram)
+
+
+class TestBackendLifecycle:
+    def test_sharded_reuse_after_close_restarts_pool(self):
+        workload = _random_workload(1)
+        rng = np.random.default_rng(9)
+        histogram = rng.random(workload.join_query.shape)
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        evaluator = WorkloadEvaluator(workload, mode="sharded", workers=2)
+        try:
+            expected = serial.answers_on_histogram(histogram)
+            assert np.array_equal(evaluator.answers_on_histogram(histogram), expected)
+            evaluator.close()
+            # close() tore down the pool and the shared segment; the next
+            # evaluation must restart both cleanly.
+            assert np.array_equal(evaluator.answers_on_histogram(histogram), expected)
+        finally:
+            evaluator.close()
+
+    def test_start_failure_does_not_leak_shm(self, monkeypatch, shm_segments):
+        workload = _random_workload(0)
+        histogram = np.zeros(workload.join_query.shape)
+        evaluator = WorkloadEvaluator(workload, mode="sharded", workers=2)
+
+        def refuse_to_start(*args, **kwargs):
+            raise RuntimeError("injected pool failure")
+
+        try:
+            with monkeypatch.context() as patch:
+                patch.setattr(
+                    "repro.queries.sharded.ProcessPoolExecutor", refuse_to_start
+                )
+                baseline = shm_segments()
+                with pytest.raises(RuntimeError, match="injected pool failure"):
+                    evaluator.answers_on_histogram(histogram)
+                assert shm_segments() == baseline, "mid-_start failure leaked shm"
+            # The failure path left the backend consistent: the very next
+            # evaluation starts the pool for real.
+            assert np.array_equal(
+                evaluator.answers_on_histogram(histogram), np.zeros(len(workload))
+            )
+        finally:
+            evaluator.close()
+
+    def test_worker_floor_agrees_across_construction_paths(self):
+        """Direct backend construction obeys the same invariant as the facade."""
+        workload = _random_workload(0)
+        facade = WorkloadEvaluator(workload, mode="sharded", workers=1)
+        assert facade.workers == 2
+        context = EvaluatorContext(workload, EvaluatorConfig(workers=1))
+        backend = ShardedBackend(context)
+        assert backend.workers == 2
+        # The caller's context is not mutated: cost-model queries on it keep
+        # answering for the worker count the caller actually configured.
+        assert context.config.workers == 1
+
+    def test_sharded_evaluates_overlapping_views_of_its_histogram(self):
+        """A view of the shm histogram (e.g. reversed) must actually land."""
+        workload = _random_workload(0)
+        rng = np.random.default_rng(15)
+        flat = rng.random(workload.join_query.joint_domain_size)
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        sharded = WorkloadEvaluator(workload, mode="sharded", workers=2)
+        try:
+            sharded.answers_on_histogram(flat)  # seed the shared segment
+            view = sharded.backend._histogram_view()
+            expected = serial.answers_on_histogram(view[::-1].copy())
+            assert np.array_equal(sharded.answers_on_histogram(view[::-1]), expected)
+        finally:
+            sharded.close()
+
+    def test_invalid_worker_counts_rejected_for_named_backends(self):
+        """A floor is a convenience; a typo'd count is an error, like auto."""
+        workload = _random_workload(0)
+        with pytest.raises(ValueError, match="workers"):
+            WorkloadEvaluator(workload, mode="sparse", workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            shared_evaluator(workload, backend="sharded", workers=-1)
+
+    def test_sharded_validates_histogram_writes(self):
+        workload = _random_workload(0)
+        evaluator = WorkloadEvaluator(workload, mode="sharded", workers=2)
+        try:
+            backend = evaluator.backend
+            with pytest.raises(ValueError, match="cells"):
+                backend.answers_on_histogram(np.float64(1.0))  # scalar broadcast
+            with pytest.raises(ValueError, match="cells"):
+                backend.answers_on_histogram(np.zeros(3))
+            with pytest.raises(ValueError, match="cells"):
+                backend.session(np.zeros(3))
+        finally:
+            evaluator.close()
