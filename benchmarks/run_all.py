@@ -24,8 +24,10 @@ The test suite wires this in behind the opt-in ``bench_smoke`` marker
 
 from __future__ import annotations
 
+import argparse
 import importlib.util
 import json
+import shutil
 import sys
 import time
 import tracemalloc
@@ -55,6 +57,7 @@ from repro.experiments import (  # noqa: E402  (path bootstrap must run first)
     e15_evaluator_scaling,
     e16_sharded_evaluation,
     e17_streaming_prefetch,
+    e18_domain_partitioned,
 )
 from repro.queries.evaluation import get_default_backend  # noqa: E402
 
@@ -152,6 +155,20 @@ SMOKE_RUNS: dict[str, tuple] = {
             seed=0,
         ),
     ),
+    "bench_e18_domain_partitioned": (
+        e18_domain_partitioned.run,
+        dict(
+            size_a=8,
+            size_b=4,
+            size_c=8,
+            workers=2,
+            eval_repeats=1,
+            pmw_rounds=2,
+            tuples_per_relation=60,
+            chunk_size=256,
+            seed=0,
+        ),
+    ),
 }
 
 
@@ -234,11 +251,42 @@ def iter_smoke_results(json_dir: Path | None = _RESULTS_DIR) -> Iterator[tuple[s
         yield name, result
 
 
-def main() -> int:
-    for name, _result in iter_smoke_results():
+def copy_records_to_root(json_dir: Path, root: Path | None = None) -> list[Path]:
+    """Copy every ``BENCH_<id>.json`` record from ``json_dir`` to the repo root.
+
+    The repo-root copies are the files the perf trajectory is diffed on across
+    PRs — ``benchmarks/results/`` holds the canonical records, the root copies
+    make regressions show up in a plain ``git diff`` of the top level.
+    """
+    root = _BENCH_DIR.parent if root is None else root
+    copies = []
+    for record in sorted(json_dir.glob("BENCH_*.json")):
+        copies.append(Path(shutil.copy2(record, root / record.name)))
+    return copies
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=_RESULTS_DIR,
+        help="directory for the per-benchmark BENCH_<id>.json records "
+        f"(default: {_RESULTS_DIR})",
+    )
+    parser.add_argument(
+        "--no-root-copy",
+        action="store_true",
+        help="skip copying the records to repo-root BENCH_<id>.json files",
+    )
+    args = parser.parse_args(argv)
+    for name, _result in iter_smoke_results(json_dir=args.results_dir):
         print(f"{name}: ok")
     print(f"{len(SMOKE_RUNS)} benchmark scripts executed")
-    print(f"performance records written to {_RESULTS_DIR}/BENCH_<id>.json")
+    print(f"performance records written to {args.results_dir}/BENCH_<id>.json")
+    if not args.no_root_copy:
+        copies = copy_records_to_root(args.results_dir)
+        print(f"{len(copies)} records copied to {_BENCH_DIR.parent}/BENCH_<id>.json")
     return 0
 
 

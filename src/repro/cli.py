@@ -105,9 +105,10 @@ def main(argv: list[str] | None = None) -> int:
             "--workers",
             type=_positive_int,
             default=1,
-            help="worker processes for the sharded evaluation backend (>= 2 "
-            "also makes 'sharded' eligible for the automatic choice) and the "
-            "decode look-ahead depth of the 'prefetch' streaming backend",
+            help="worker processes for the sharded and domain evaluation "
+            "backends (>= 2 also makes 'sharded' eligible for the automatic "
+            "choice; 'domain' gives each worker its own histogram slice) and "
+            "the decode look-ahead depth of the 'prefetch' streaming backend",
         )
 
     args = parser.parse_args(argv)

@@ -27,14 +27,19 @@ budget) clamped to a configurable range.
 
 The inner loop never touches full-domain query vectors: scores are computed
 with one batched workload evaluation per round (dense matmul, CSR
-matrix–vector product, sharded parallel matvec, or chunked streaming scan
-depending on the evaluator backend) and the multiplicative update rescales
-only the selected query's cached support — the update factor is exactly 1
-outside it.  The histogram lives in a
-:class:`~repro.queries.backends.HistogramSession` owned by the loop: each
-round sends the backend only the selected query's support delta (plus one
-renormalisation scale), never the histogram itself, so the sharded backend's
-workers read every update straight out of shared memory.
+matrix–vector product, sharded/domain parallel matvec, or chunked streaming
+scan depending on the evaluator backend) and the multiplicative update
+rescales only the selected query's cached support — the update factor is
+exactly 1 outside it.  The histogram lives in a
+:class:`~repro.queries.backends.HistogramSession` owned by the loop, and the
+loop speaks only the session's op protocol: the uniform start is a
+:class:`~repro.queries.backends.HistogramSeed` spec (one scalar, realised by
+the backend — slice-locally on partitioned backends, so this process never
+allocates ``|D|`` cells for it), each round sends only the selected query's
+support delta plus one renormalisation scale, the averaged iterates
+accumulate inside the session, and the released histogram is assembled from
+the session's ``averaged_slices``.  Nothing here ever sees the backing
+array.
 """
 
 from __future__ import annotations
@@ -49,6 +54,8 @@ from repro.mechanisms.laplace import sample_laplace
 from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
 from repro.mechanisms.truncated_laplace import sample_truncated_laplace, truncation_radius
+from repro.core.synthetic import assemble_flat_histogram
+from repro.queries.backends import HistogramSeed
 from repro.queries.evaluation import WorkloadEvaluator, shared_evaluator
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
@@ -246,14 +253,13 @@ def private_multiplicative_weights(
     # Step 3: multiplicative weights over the joint domain.  Scores come from
     # one batched workload evaluation per round; the update rescales only the
     # selected query's support cells (the factor is exp(0) = 1 elsewhere).
-    # The histogram lives in a backend session so only the support delta and
-    # the renormalisation scale are sent each round — the sharded backend's
-    # workers see the in-place writes through shared memory.
+    # The histogram lives in a backend session driven purely through its op
+    # protocol: the uniform start ships as a seed spec (partitioned backends
+    # realise it slice-locally; this process never allocates |D| cells for
+    # it), each round sends only the support delta and the renormalisation
+    # scale, and the averaged iterates accumulate inside the session.
     true_answers = evaluator.answers_on_instance(instance)
-    session = evaluator.histogram_session(
-        np.full(domain_size, noisy_total / domain_size, dtype=float)
-    )
-    average = np.zeros(domain_size, dtype=float)
+    session = evaluator.histogram_session(seed=HistogramSeed.uniform(noisy_total))
     selected: list[int] = []
 
     try:
@@ -275,11 +281,14 @@ def private_multiplicative_weights(
             )
             session.scale_support(support_indices, np.exp(exponent))
             _renormalize(session, noisy_total, domain_size)
-            average += session.array
+            session.accumulate()
+        flat_average = assemble_flat_histogram(
+            domain_size, session.averaged_slices(iterations)
+        )
     finally:
         session.close()
 
-    histogram = (average / iterations).reshape(join_query.shape)
+    histogram = flat_average.reshape(join_query.shape)
     return PMWResult(
         histogram=histogram,
         noisy_total=noisy_total,

@@ -117,8 +117,10 @@ def release_synthetic_data(
         Workload-evaluation backend knobs (any registered backend name, or
         ``"auto"``) forwarded to every algorithm;
         ``backend="sharded", workers>=2`` parallelises the PMW score
-        computation across worker processes.  Ignored when an explicit
-        ``evaluator`` is passed.
+        computation across worker processes, and ``backend="domain"``
+        additionally partitions the histogram itself into per-worker
+        shared-memory domain slices, so no single allocation holds all
+        ``|D|`` cells.  Ignored when an explicit ``evaluator`` is passed.
 
     Returns
     -------

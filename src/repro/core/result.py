@@ -40,9 +40,17 @@ class ReleaseResult:
         return self.synthetic.answer_workload(workload)
 
     def error_report(self, instance: Instance, workload: Workload) -> ErrorReport:
-        """Compare released answers with the exact answers on ``instance``."""
-        true_answers = shared_evaluator(workload).answers_on_instance(instance)
-        released = self.synthetic.answer_workload(workload)
+        """Compare released answers with the exact answers on ``instance``.
+
+        Released answers go through the workload's shared evaluator backend
+        (one batched evaluation) rather than per-query dense joint vectors,
+        so reporting respects the active backend's memory model — sparse
+        supports, chunked scans — instead of materialising ``|Q|`` vectors
+        of ``|D|`` cells.
+        """
+        evaluator = shared_evaluator(workload)
+        true_answers = evaluator.answers_on_instance(instance)
+        released = evaluator.answers_on_histogram(self.synthetic.histogram)
         return ErrorReport.from_answers(true_answers, released, workload.names())
 
     def max_error(self, instance: Instance, workload: Workload) -> float:

@@ -20,6 +20,29 @@ from repro.queries.workload import Workload
 from repro.relational.hypergraph import JoinQuery
 
 
+def assemble_flat_histogram(
+    domain_size: int, slices: "Iterator[tuple[int, int, np.ndarray]] | list"
+) -> np.ndarray:
+    """Assemble one flat histogram from disjoint ``(start, stop, cells)`` slices.
+
+    The bridge between partitioned histogram producers (a domain-sharded
+    :class:`~repro.queries.backends.HistogramSession`'s ``averaged_slices``)
+    and consumers that want one array; raises if the slices do not cover
+    the whole domain, so a dropped shard fails loudly instead of releasing
+    silent zeros.
+    """
+    flat = np.zeros(domain_size, dtype=float)
+    covered = 0
+    for start, stop, cells in slices:
+        flat[start:stop] = cells
+        covered += stop - start
+    if covered != domain_size:
+        raise ValueError(
+            f"histogram slices cover {covered} of {domain_size} joint-domain cells"
+        )
+    return flat
+
+
 @dataclass
 class SyntheticDataset:
     """A synthetic joint-domain frequency function released under DP.
@@ -51,6 +74,47 @@ class SyntheticDataset:
         if np.any(histogram < -1e-9):
             raise ValueError("synthetic histogram must be non-negative")
         self.histogram = np.clip(histogram, 0.0, None)
+
+    @classmethod
+    def from_flat_slices(
+        cls,
+        join_query: JoinQuery,
+        slices: "Iterator[tuple[int, int, np.ndarray]] | list",
+        privacy: PrivacySpec,
+        metadata: dict | None = None,
+    ) -> "SyntheticDataset":
+        """Build a synthetic dataset from disjoint flat ``(start, stop, cells)`` slices.
+
+        The assembly path for partitioned producers: a domain-sharded PMW
+        run hands over its averaged iterates slice by slice and the full
+        histogram is allocated exactly once, here.
+        """
+        flat = assemble_flat_histogram(join_query.joint_domain_size, slices)
+        return cls(
+            join_query=join_query,
+            histogram=flat.reshape(join_query.shape),
+            privacy=privacy,
+            metadata=metadata or {},
+        )
+
+    def iter_flat_slices(
+        self, slice_size: int
+    ) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield the histogram as flat ``(start, stop, cells)`` slices.
+
+        The inverse of :meth:`from_flat_slices`: lets consumers stream the
+        released histogram range by range (e.g. to seed a partitioned
+        session via ``HistogramSeed.from_slices``) without a second
+        full-domain copy — the yielded cells are read-only views.
+        """
+        if slice_size <= 0:
+            raise ValueError(f"slice_size must be positive, got {slice_size}")
+        flat = self.histogram.reshape(-1)
+        for start in range(0, flat.size, slice_size):
+            stop = min(start + slice_size, flat.size)
+            cells = flat[start:stop]
+            cells.flags.writeable = False
+            yield start, stop, cells
 
     # ------------------------------------------------------------------ #
     # query answering

@@ -1,6 +1,6 @@
 """The experiment harness: one module per reproduced paper artefact.
 
-Every experiment ``E1 ... E17`` of DESIGN.md's per-experiment index lives in
+Every experiment ``E1 ... E18`` of DESIGN.md's per-experiment index lives in
 its own module with a ``run(...)`` function returning a dictionary that always
 contains a ``"table"`` entry (an :class:`repro.analysis.reporting.ExperimentTable`)
 plus experiment-specific raw values that the benchmark suite asserts on.  The
@@ -27,6 +27,7 @@ from repro.experiments import (
     e15_evaluator_scaling,
     e16_sharded_evaluation,
     e17_streaming_prefetch,
+    e18_domain_partitioned,
 )
 
 EXPERIMENTS = {
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "e15": e15_evaluator_scaling.run,
     "e16": e16_sharded_evaluation.run,
     "e17": e17_streaming_prefetch.run,
+    "e18": e18_domain_partitioned.run,
 }
 
 DESCRIPTIONS = {
@@ -67,6 +69,7 @@ DESCRIPTIONS = {
     "e15": "Workload-evaluation engine scaling — dense vs sparse vs streaming",
     "e16": "Sharded multi-process evaluation — parallel speedup with bitwise PMW parity",
     "e17": "Pipelined streaming evaluation — async chunk prefetch with bitwise parity",
+    "e18": "Domain-partitioned histograms — per-slice shared memory, no |D| allocation",
 }
 
 __all__ = ["EXPERIMENTS", "DESCRIPTIONS"]

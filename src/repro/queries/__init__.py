@@ -6,16 +6,19 @@ join size ``Σ_t ρ(t)·Π_i q_i(t_i)·R_i(t_i)``.  This subpackage provides the
 query objects, standard workload families (counting, predicates, marginals,
 ranges, random signs), and exact evaluation against both instances and
 released synthetic datasets through the pluggable evaluation-backend
-registry (dense / sparse / sharded / streaming / prefetching-streaming).
+registry (dense / sparse / sharded / domain-partitioned / streaming /
+prefetching-streaming).
 """
 
 from repro.queries.linear import ProductQuery, TableQuery, all_one_query, counting_query
 from repro.queries.workload import Workload
 from repro.queries.backends import (
+    ArrayHistogramSession,
     BackendCost,
     EvaluationBackend,
     EvaluatorConfig,
     EvaluatorContext,
+    HistogramSeed,
     HistogramSession,
     register_backend,
     registered_backends,
@@ -36,11 +39,13 @@ from repro.queries.evaluation import (
 )
 
 __all__ = [
+    "ArrayHistogramSession",
     "BackendCost",
     "ErrorReport",
     "EvaluationBackend",
     "EvaluatorConfig",
     "EvaluatorContext",
+    "HistogramSeed",
     "HistogramSession",
     "ProductQuery",
     "SparseWorkloadEvaluator",

@@ -33,6 +33,15 @@ Shared machinery (exact support-size einsums, chunk plans, chunked support
 construction) lives in :class:`EvaluatorContext`, which every backend
 receives on construction, so new backends only implement the evaluation
 strategy itself.
+
+Iterated evaluation (the PMW loop) goes through a
+:class:`HistogramSession` — an *operation protocol* (answers, support
+rescale, uniform scale/fill, total, accumulate) behind which the histogram
+representation is private to the backend: one array, a shared-memory
+block, or per-slice segments spread over worker processes.  Sessions are
+opened from a declarative :class:`HistogramSeed` (uniform total, per-slice
+initializer, or concrete array) via ``seeded_session``, so backends that
+partition the domain never materialise ``|D|`` cells in the parent.
 """
 
 from __future__ import annotations
@@ -41,7 +50,7 @@ import os
 import queue
 import threading
 from dataclasses import dataclass
-from typing import ClassVar, Iterator
+from typing import Callable, ClassVar, Iterator
 
 import numpy as np
 
@@ -345,52 +354,217 @@ class EvaluatorContext:
 
 
 # ---------------------------------------------------------------------- #
-# histogram sessions (the PMW update protocol)
+# histogram seeds and sessions (the PMW update protocol)
 # ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class HistogramSeed:
+    """A declarative seed for a histogram session.
+
+    The PMW loop never needs the start histogram as one materialised
+    ndarray — it needs a *rule* for what every cell starts at.  A seed
+    captures that rule in one of three forms:
+
+    ``uniform(total)``
+        Every cell starts at ``total / |D|`` — the PMW start histogram.
+        Ships a single scalar, so a partitioned backend seeds each slice
+        locally and the parent process never allocates ``|D|`` cells.
+    ``from_slices(initializer)``
+        ``initializer(start, stop, domain_size)`` produces the cells of
+        any flat range on demand; partitioned backends call it once per
+        owned slice, serial backends once for the whole domain.
+    ``from_array(array)``
+        A concrete histogram (copied into session storage).  The
+        compatibility form — this is what ``histogram_session(initial)``
+        wraps — and the only one whose peak memory is ``O(|D|)`` in the
+        parent.
+
+    Exactly one of the three underlying fields is set; :meth:`cells`
+    realises any flat slice and :meth:`materialize` the whole domain.
+    """
+
+    total: float | None = None
+    initializer: "Callable[[int, int, int], np.ndarray] | None" = None
+    array: np.ndarray | None = None
+
+    def __post_init__(self):
+        populated = sum(
+            field is not None for field in (self.total, self.initializer, self.array)
+        )
+        if populated != 1:
+            raise ValueError(
+                "a HistogramSeed is exactly one of uniform total, per-slice "
+                f"initializer, or concrete array ({populated} given)"
+            )
+
+    @classmethod
+    def uniform(cls, total: float) -> "HistogramSeed":
+        """Seed every cell with ``total / domain_size``."""
+        total = float(total)
+        if not np.isfinite(total) or total < 0.0:
+            raise ValueError(f"uniform seed total must be finite and >= 0, got {total}")
+        return cls(total=total)
+
+    @classmethod
+    def from_slices(cls, initializer: "Callable[[int, int, int], np.ndarray]") -> "HistogramSeed":
+        """Seed from ``initializer(start, stop, domain_size) -> cells``."""
+        return cls(initializer=initializer)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "HistogramSeed":
+        """Seed from a concrete histogram (flattened, copied on use)."""
+        return cls(array=np.asarray(array, dtype=np.float64).reshape(-1))
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.total is not None
+
+    def cell_value(self, domain_size: int) -> float:
+        """The per-cell value of a uniform seed."""
+        if self.total is None:
+            raise ValueError("cell_value() is only defined for uniform seeds")
+        return self.total / domain_size
+
+    def cells(self, start: int, stop: int, domain_size: int) -> np.ndarray:
+        """The seed values of the flat range ``[start, stop)``."""
+        if self.total is not None:
+            return np.full(stop - start, self.total / domain_size, dtype=np.float64)
+        if self.array is not None:
+            if self.array.size != domain_size:
+                raise ValueError(
+                    f"seed array has {self.array.size} cells, expected {domain_size}"
+                )
+            return self.array[start:stop]
+        cells = np.asarray(self.initializer(start, stop, domain_size), dtype=np.float64)
+        if cells.shape != (stop - start,):
+            raise ValueError(
+                f"seed initializer returned shape {cells.shape} for "
+                f"[{start}, {stop}); expected ({stop - start},)"
+            )
+        return cells
+
+    def materialize(self, domain_size: int) -> np.ndarray:
+        """The whole seed histogram as one flat vector (serial backends only)."""
+        return self.cells(0, domain_size, domain_size)
+
+
 class HistogramSession:
-    """A mutable histogram evaluated repeatedly by one backend.
+    """The mutable-histogram operation protocol driven by the PMW loop.
 
     The PMW inner loop owns one session for its whole run: instead of
     handing the backend a fresh histogram every round, it applies in-place
-    deltas (the selected query's support rescale plus one global
-    renormalisation) and re-asks for answers.  For serial backends this is
-    plain array arithmetic; for the sharded backend the array is a view on
-    the shared-memory histogram, so the workers see every delta without any
-    per-round re-broadcast.
+    deltas through these ops and re-asks for answers.  Callers never see
+    the backing storage — serial backends keep a private array
+    (:class:`ArrayHistogramSession`), the sharded backend a view on its
+    shared-memory block, and the domain-partitioned backend one block per
+    contiguous domain slice — so the loop is identical against all of them
+    and nothing outside the queries package may assume "one flat ndarray"
+    (a static-guard test enforces the boundary).
 
-    A session owns its ``array`` outright: the seed histogram is *copied*
-    on every backend (serial sessions into a private array, sharded into
-    the shared-memory block), so session mutations never touch the caller's
-    input.
+    The ops:
+
+    ``answers()``
+        The workload answer vector against the current contents.
+    ``scale_support(indices, factors)``
+        Multiply the cells at ``indices`` by ``factors`` — the PMW support
+        delta.  ``indices`` must be sorted ascending (query supports are
+        built that way); partitioned sessions split the delta per slice by
+        binary search and raise on unsorted input.
+    ``scale(factor)`` / ``fill(value)``
+        Uniform rescale / reset of every cell — for a partitioned session
+        these are purely local slice ops.
+    ``total()``
+        The scalar mass — for a partitioned session one local sum per
+        slice plus a scalar all-reduce.
+    ``accumulate()`` / ``averaged_slices(divisor)``
+        Running-sum support for the PMW averaged iterates: ``accumulate``
+        adds the current contents to a session-held accumulator and
+        ``averaged_slices`` yields ``(start, stop, cells)`` of the
+        accumulator divided by ``divisor``, slice by slice, so the caller
+        can assemble (or stream) the averaged histogram without ever
+        reading the live backing array.
+    ``close()``
+        Release per-session resources.
+    """
+
+    def answers(self) -> np.ndarray:
+        """Answers of every query against the current histogram contents."""
+        raise NotImplementedError
+
+    def scale_support(self, indices: np.ndarray, factors: np.ndarray) -> None:
+        """Multiply the cells at sorted ``indices`` by ``factors`` (a support delta)."""
+        raise NotImplementedError
+
+    def scale(self, factor: float) -> None:
+        """Multiply every cell by ``factor`` (renormalisation)."""
+        raise NotImplementedError
+
+    def fill(self, value: float) -> None:
+        """Reset every cell to ``value``."""
+        raise NotImplementedError
+
+    def total(self) -> float:
+        """The total mass of the current histogram contents."""
+        raise NotImplementedError
+
+    def accumulate(self) -> None:
+        """Add the current contents to the session's running accumulator."""
+        raise NotImplementedError
+
+    def averaged_slices(self, divisor: float) -> Iterator[tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, cells)`` of the accumulator divided by ``divisor``.
+
+        Slices are disjoint, ascending, and cover the whole domain; with no
+        prior :meth:`accumulate` the cells are zero.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release per-session resources (no-op for serial backends)."""
+
+
+class ArrayHistogramSession(HistogramSession):
+    """The dense implementation: one flat float64 array in this process.
+
+    A session owns its array outright: the seed histogram is *copied* on
+    every backend (serial sessions into a private array, sharded into the
+    shared-memory block), so session mutations never touch the caller's
+    input.  The accumulator is allocated lazily on the first
+    :meth:`accumulate`, so ops-only consumers (renormalisation tests,
+    one-shot evaluations) never pay for it.
     """
 
     def __init__(self, backend: "EvaluationBackend", array: np.ndarray):
         self._backend = backend
-        #: The live flat histogram; writes through this view are what the
-        #: next :meth:`answers` call evaluates.
-        self.array = array
+        self._array = array
+        self._accumulator: np.ndarray | None = None
 
     def answers(self) -> np.ndarray:
-        """Answers of every query against the current histogram contents."""
-        return self._backend.answers_on_histogram(self.array)
+        return self._backend.answers_on_histogram(self._array)
 
     def scale_support(self, indices: np.ndarray, factors: np.ndarray) -> None:
-        """Multiply the cells at ``indices`` by ``factors`` (a support delta)."""
-        self.array[indices] *= factors
+        self._array[indices] *= factors
 
     def scale(self, factor: float) -> None:
-        """Multiply every cell by ``factor`` (renormalisation)."""
-        self.array *= factor
+        self._array *= factor
 
     def fill(self, value: float) -> None:
-        """Reset every cell to ``value``."""
-        self.array.fill(value)
+        self._array.fill(value)
 
     def total(self) -> float:
-        return float(self.array.sum())
+        return float(self._array.sum())
 
-    def close(self) -> None:
-        """Release per-session resources (no-op for serial backends)."""
+    def accumulate(self) -> None:
+        if self._accumulator is None:
+            # zeros_like of a shared-memory view is a plain private array,
+            # so the accumulator never aliases backend storage.
+            self._accumulator = np.zeros_like(self._array)
+        self._accumulator += self._array
+
+    def averaged_slices(self, divisor: float) -> Iterator[tuple[int, int, np.ndarray]]:
+        if self._accumulator is None:
+            yield 0, self._array.size, np.zeros(self._array.size, dtype=np.float64)
+        else:
+            yield 0, self._accumulator.size, self._accumulator / float(divisor)
 
 
 # ---------------------------------------------------------------------- #
@@ -470,7 +644,20 @@ class EvaluationBackend:
 
     def session(self, initial: np.ndarray) -> HistogramSession:
         """Open a mutable histogram session seeded with a copy of ``initial``."""
-        return HistogramSession(self, np.array(initial, dtype=np.float64))
+        return ArrayHistogramSession(self, np.array(initial, dtype=np.float64))
+
+    def seeded_session(self, seed: HistogramSeed) -> HistogramSession:
+        """Open a histogram session from a declarative :class:`HistogramSeed`.
+
+        The base implementation realises the seed as one flat vector and
+        copies it into session storage — correct for every backend whose
+        session holds the full histogram anyway.  Partitioned backends
+        override this to seed each owned slice locally, so a uniform or
+        per-slice seed never allocates ``|D|`` cells in the parent.
+        """
+        if seed.array is not None:
+            return self.session(self._context.validated_flat(seed.array))
+        return self.session(seed.materialize(self._context.domain_size))
 
     # -- supports ---------------------------------------------------------
     def support_size(self, index: int) -> int:

@@ -35,6 +35,24 @@ algorithms never care which one is active:
     extra in-flight chunk per unit of look-ahead, set by ``workers``).
     Auto-eligible whenever the host has at least two cores, ranked just
     ahead of the serial streaming scan.
+``domain``
+    The joint domain itself partitioned into contiguous slices, one per
+    pool worker, each backed by its own shared-memory segment of
+    ``8·(slice length)`` bytes — the full histogram never exists as one
+    allocation.  Supports are re-indexed per slice; answers sum the
+    per-slice partials in fixed order (1e-9 parity with serial sparse, not
+    bitwise — PMW *selections* stay bitwise under a fixed seed).  Opt-in
+    via ``mode="domain"``; this is the strategy for histograms one address
+    space cannot hold.
+
+Iterated evaluation drives a :class:`~repro.queries.backends.HistogramSession`
+— an operation protocol (``answers``, ``scale_support``, ``scale``,
+``fill``, ``total``, ``accumulate``/``averaged_slices``, ``close``) behind
+which the histogram storage is private to the backend.  Sessions are opened
+via :meth:`WorkloadEvaluator.histogram_session`, either from a concrete
+array or from a declarative :class:`~repro.queries.backends.HistogramSeed`
+(uniform total or per-slice initializer), which partitioned backends
+realise slice-locally so the parent never allocates ``|D|`` cells.
 
 The default (``mode="auto"``) runs the registry's explicit cost model
 (:func:`~repro.queries.backends.choose_backend`): every registered backend
@@ -68,6 +86,7 @@ from repro.queries.backends import (
     EvaluationBackend,
     EvaluatorConfig,
     EvaluatorContext,
+    HistogramSeed,
     HistogramSession,
     backend_class,
     backend_costs,
@@ -165,8 +184,9 @@ class WorkloadEvaluator:
         ``mode``.
     mode / backend:
         ``"auto"`` or any registered backend name (``"dense"``,
-        ``"sparse"``, ``"sharded"``, ``"streaming"``, ``"prefetch"``, plus
-        custom registrations); see the module docstring for the trade-offs.
+        ``"sparse"``, ``"sharded"``, ``"domain"``, ``"streaming"``,
+        ``"prefetch"``, plus custom registrations); see the module
+        docstring for the trade-offs.
         ``backend`` is an alias of ``mode`` matching the release-algorithm
         knob; when neither is given the process-wide default applies.
         ``"auto"`` (the default) runs the registry cost model and picks the
@@ -178,9 +198,11 @@ class WorkloadEvaluator:
         Joint-domain chunk length used by streaming scans and chunked
         support construction.
     workers:
-        Worker-process count for the sharded backend (``workers >= 2``
-        also makes ``sharded`` eligible for the automatic choice) and the
-        decode look-ahead depth of the prefetching streaming backend.
+        Worker-process count for the sharded and domain backends
+        (``workers >= 2`` also makes ``sharded`` eligible for the
+        automatic choice; ``domain`` sizes its per-slice segments by it)
+        and the decode look-ahead depth of the prefetching streaming
+        backend.
     """
 
     def __init__(
@@ -329,17 +351,34 @@ class WorkloadEvaluator:
         """Answers ``q(F)`` for every query against a joint-domain histogram."""
         return self._resolve_backend().answers_on_histogram(self._validated_flat(histogram))
 
-    def histogram_session(self, initial: np.ndarray) -> HistogramSession:
-        """Open a mutable histogram session seeded with ``initial``.
+    def histogram_session(
+        self,
+        initial: np.ndarray | None = None,
+        *,
+        seed: HistogramSeed | None = None,
+    ) -> HistogramSession:
+        """Open a mutable histogram session from an array or a seed spec.
 
         The PMW inner loop uses this instead of re-submitting the histogram
         every round: it applies in-place deltas (the selected query's
-        support rescale and the renormalisation) through the session and
-        re-asks for answers.  The sharded backend maps the session straight
-        onto its shared-memory histogram, so nothing is re-broadcast to the
-        workers between rounds.
+        support rescale and the renormalisation) through the session's op
+        protocol and re-asks for answers.  The sharded backend maps the
+        session straight onto its shared-memory histogram and the domain
+        backend onto its per-slice segments, so nothing is re-broadcast to
+        the workers between rounds.
+
+        Exactly one of ``initial`` (a concrete histogram, copied into
+        session storage) or ``seed`` (a declarative
+        :class:`~repro.queries.backends.HistogramSeed`) must be given.
+        Passing ``seed=HistogramSeed.uniform(total)`` lets partitioned
+        backends seed each slice locally — the caller never allocates
+        ``|D|`` cells.
         """
-        return self._resolve_backend().session(self._validated_flat(initial))
+        if (initial is None) == (seed is None):
+            raise ValueError("pass exactly one of `initial` or `seed`")
+        if initial is not None:
+            seed = HistogramSeed.from_array(self._validated_flat(initial))
+        return self._resolve_backend().seeded_session(seed)
 
     def error_report(self, instance: Instance, histogram: np.ndarray) -> ErrorReport:
         true_answers = self.answers_on_instance(instance)

@@ -1,4 +1,4 @@
-"""The sharded evaluation backend: row-sharded CSR over a process pool.
+"""Process-pool evaluation backends: row-sharded CSR and domain partitioning.
 
 :class:`ShardedBackend` parallelises workload evaluation across a
 persistent ``multiprocessing`` worker pool.  The histogram lives in one
@@ -25,12 +25,29 @@ Two sharding strategies mirror the serial backends:
     its range (answers agree with serial streaming to float addition
     reassociation, i.e. well within 1e-9 relative).
 
+:class:`DomainShardedBackend` (``mode="domain"``) partitions the *domain*
+instead of the query rows: each shard owns one contiguous slice of the
+flat joint domain, backed by its own shared-memory segment of
+``8·(slice length)`` bytes — the full ``8·|D|`` histogram never exists as
+one allocation anywhere.  Query supports are split at the slice bounds
+with their flat indices re-indexed slice-locally; per-query answers are
+the sum of per-slice partial sums (combined in fixed slice order), and a
+renormalisation is a local scale per slice plus one scalar all-reduce for
+the total.  The session ops of the PR 2 delta protocol map one-to-one
+onto slice-local writes, so the PMW loop needs no changes — and with a
+uniform :class:`~repro.queries.backends.HistogramSeed` the parent process
+never allocates ``|D|`` cells either.  Cross-slice partial sums
+reassociate float additions, so answers match serial sparse to 1e-9
+relative (not bitwise); PMW *selections* remain bitwise reproducible
+under a fixed seed, which E18 asserts.
+
 Worker start-up prefers the ``fork`` context: the CSR shards (or chunk
 plans) are inherited copy-on-write through a module-level state table and
 are never pickled.  On platforms without ``fork`` the state is shipped
-once per worker through the pool initializer.  Pool and shared memory are
-torn down by ``close()`` or, failing that, a ``weakref.finalize`` when the
-backend is garbage-collected.
+once per worker through the pool initializer.  Pool and shared memory
+(one segment, or one per domain slice) are torn down by ``close()`` or,
+failing that, a ``weakref.finalize`` when the backend is
+garbage-collected.
 """
 
 from __future__ import annotations
@@ -44,8 +61,10 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.queries.backends import (
+    ArrayHistogramSession,
     BackendCost,
     EvaluatorContext,
+    HistogramSeed,
     HistogramSession,
     SparseBackend,
     iter_decoded_chunks,
@@ -61,52 +80,55 @@ _WORKER_STATES: dict[int, dict] = {}
 _BACKEND_KEYS = itertools.count(1)
 
 
-def _init_worker(key: int, shm_name: str, domain_size: int, payload: dict | None) -> None:
-    """Pool initializer: attach the shared histogram (spawn contexts only).
+def _init_worker(
+    key: int, segments: tuple[tuple[str, int], ...], payload: dict | None
+) -> None:
+    """Pool initializer: attach the shared histogram segments (spawn only).
 
     Under ``fork`` the state table is inherited and ``payload`` is ``None``;
-    under ``spawn`` the pickled shard data arrives here and the histogram is
-    re-attached by shared-memory name.
+    under ``spawn`` the pickled shard data arrives here and every segment —
+    the single shared histogram, or one per domain slice — is re-attached
+    by its shared-memory ``(name, length)``.
     """
     if payload is None:
         return
-    shm = shared_memory.SharedMemory(name=shm_name)
-    try:  # the parent owns the segment; workers must not track (or unlink) it
-        from multiprocessing import resource_tracker
+    views = []
+    mappings = []
+    for shm_name, length in segments:
+        shm = shared_memory.SharedMemory(name=shm_name)
+        try:  # the parent owns the segment; workers must not track (or unlink) it
+            from multiprocessing import resource_tracker
 
-        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
-    except Exception:
-        pass
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:
+            pass
+        views.append(np.ndarray((length,), dtype=np.float64, buffer=shm.buf))
+        mappings.append(shm)  # keep the mapping alive for the worker's lifetime
     state = dict(payload)
-    state["histogram"] = np.ndarray((domain_size,), dtype=np.float64, buffer=shm.buf)
-    state["_shm"] = shm  # keep the mapping alive for the worker's lifetime
+    state["histograms"] = views
+    state["_shms"] = mappings
     _WORKER_STATES[key] = state
 
 
-def _eval_shard(key: int, shard_id: int) -> np.ndarray:
-    """Partial answer vector of one shard against the shared histogram."""
-    state = _WORKER_STATES[key]
-    histogram = state["histogram"]
-    num_queries = state["num_queries"]
-    if state["strategy"] == "csr":
-        lo, hi = state["shards"][shard_id]
-        rows = state["row_ids"][lo:hi]
-        indices = state["indices"][lo:hi]
-        values = state["values"][lo:hi]
-        return np.bincount(
-            rows, weights=values * histogram[indices], minlength=num_queries
-        )
-    start, end = state["ranges"][shard_id]
-    answers = np.zeros(num_queries, dtype=np.float64)
-    # The same prefetch iterator as the streaming backends: each worker
-    # decodes its next chunk on a background thread while the weight
-    # products and matvec of the current one run, and the decoded
-    # multi-index buffer is shared by every query in the chunk.  Chunk and
-    # accumulation order are unchanged, so answers stay deterministic.
+def _scan_range(
+    state: dict, histogram: np.ndarray, start: int, end: int, offset: int
+) -> np.ndarray:
+    """Streaming partial sums of ``[start, end)`` against ``histogram``.
+
+    ``histogram`` holds the cells of that range starting at flat index
+    ``offset`` (0 for the single shared histogram, the slice start for a
+    domain segment).  The same prefetch iterator as the streaming
+    backends: the worker decodes its next chunk on a background thread
+    while the weight products and matvec of the current one run, and the
+    decoded multi-index buffer is shared by every query in the chunk.
+    Chunk and accumulation order are unchanged, so answers stay
+    deterministic.
+    """
+    answers = np.zeros(state["num_queries"], dtype=np.float64)
     for chunk_start, chunk_stop, multi in iter_decoded_chunks(
         state["shape"], start, end, state["chunk_size"], prefetch=1
     ):
-        chunk = histogram[chunk_start:chunk_stop]
+        chunk = histogram[chunk_start - offset : chunk_stop - offset]
         for index, plan in enumerate(state["plans"]):
             values = np.ones(chunk_stop - chunk_start, dtype=np.float64)
             for axes, weights in plan:
@@ -115,32 +137,64 @@ def _eval_shard(key: int, shard_id: int) -> np.ndarray:
     return answers
 
 
-def _shutdown(executor: ProcessPoolExecutor, shm: shared_memory.SharedMemory, key: int) -> None:
-    """Tear down one backend's pool, state entry, and shared-memory segment."""
+def _eval_shard(key: int, shard_id: int) -> np.ndarray:
+    """Partial answer vector of one shard against the shared histogram(s)."""
+    state = _WORKER_STATES[key]
+    num_queries = state["num_queries"]
+    strategy = state["strategy"]
+    if strategy == "domain":
+        # The shard owns one contiguous domain slice in its own segment;
+        # support indices were re-indexed slice-locally at start-up.
+        histogram = state["histograms"][shard_id]
+        if state["representation"] == "csr":
+            rows, indices, values = state["slice_csr"][shard_id]
+            return np.bincount(
+                rows, weights=values * histogram[indices], minlength=num_queries
+            )
+        start, end = state["slices"][shard_id]
+        return _scan_range(state, histogram, start, end, offset=start)
+    histogram = state["histograms"][0]
+    if strategy == "csr":
+        lo, hi = state["shards"][shard_id]
+        rows = state["row_ids"][lo:hi]
+        indices = state["indices"][lo:hi]
+        values = state["values"][lo:hi]
+        return np.bincount(
+            rows, weights=values * histogram[indices], minlength=num_queries
+        )
+    start, end = state["ranges"][shard_id]
+    return _scan_range(state, histogram, start, end, offset=0)
+
+
+def _shutdown(
+    executor: ProcessPoolExecutor, shms: list[shared_memory.SharedMemory], key: int
+) -> None:
+    """Tear down one backend's pool, state entry, and shared-memory segments."""
     try:
         executor.shutdown(wait=True, cancel_futures=True)
     except Exception:
         pass
     _WORKER_STATES.pop(key, None)
-    try:
-        shm.close()
-    except Exception:
-        pass
-    try:
-        # Unlink independently of close(): a still-exported buffer view must
-        # not leave the segment behind in /dev/shm.
-        shm.unlink()
-    except Exception:
-        pass
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            # Unlink independently of close(): a still-exported buffer view
+            # must not leave the segment behind in /dev/shm.
+            shm.unlink()
+        except Exception:
+            pass
 
 
-class ShardedHistogramSession(HistogramSession):
+class ShardedHistogramSession(ArrayHistogramSession):
     """A histogram session living directly in the shared-memory block.
 
-    ``array`` is a view on the segment every worker maps, so the in-place
-    deltas the PMW loop applies (support rescale + renormalisation) reach
-    the workers without any communication; :meth:`answers` only dispatches
-    shard ids.
+    The backing array is a view on the segment every worker maps, so the
+    in-place deltas the PMW loop applies (support rescale +
+    renormalisation) reach the workers without any communication;
+    :meth:`answers` only dispatches shard ids.
     """
 
     def __init__(self, backend: "ShardedBackend"):
@@ -217,9 +271,10 @@ class ShardedBackend(SparseBackend):
         return "csr" if self._context.supports_fit_budget() else "chunked"
 
     def query_support(self, index: int) -> tuple[np.ndarray, np.ndarray]:
-        if self.strategy == "csr":
+        if self._context.supports_fit_budget():
             return super().query_support(index)
-        # Chunked strategy: behave like streaming — cache within the budget.
+        # Chunked/scan strategies: behave like streaming — cache within the
+        # budget only, preserving the bounded-memory guarantee.
         saved, self.caches_all_supports = self.caches_all_supports, False
         try:
             return super().query_support(index)
@@ -286,7 +341,7 @@ class ShardedBackend(SparseBackend):
         key = next(_BACKEND_KEYS)
         try:
             view = np.ndarray((context.domain_size,), dtype=np.float64, buffer=shm.buf)
-            state["histogram"] = view
+            state["histograms"] = [view]
             # Under fork the workers inherit this entry (and the shm mapping)
             # copy-on-write; nothing is pickled.  Under spawn the initializer
             # rebuilds it from the pickled payload.
@@ -298,19 +353,19 @@ class ShardedBackend(SparseBackend):
             payload = (
                 None
                 if use_fork
-                else {name: value for name, value in state.items() if name != "histogram"}
+                else {name: value for name, value in state.items() if name != "histograms"}
             )
             executor = ProcessPoolExecutor(
                 max_workers=self._workers,
                 mp_context=multiprocessing.get_context("fork" if use_fork else "spawn"),
                 initializer=_init_worker,
-                initargs=(key, shm.name, context.domain_size, payload),
+                initargs=(key, ((shm.name, context.domain_size),), payload),
             )
         except BaseException:
             # A failure between segment creation and pool start must not
             # leave the segment behind in /dev/shm (or a stale state entry).
             _WORKER_STATES.pop(key, None)
-            state.pop("histogram", None)
+            state.pop("histograms", None)
             view = None  # drop the buffer export before closing the mapping
             try:
                 shm.close()
@@ -326,7 +381,7 @@ class ShardedBackend(SparseBackend):
         self._view = view
         self._key = key
         self._num_shards = num_shards
-        self._finalizer = weakref.finalize(self, _shutdown, executor, shm, key)
+        self._finalizer = weakref.finalize(self, _shutdown, executor, [shm], key)
 
     def _histogram_view(self) -> np.ndarray:
         self._start()
@@ -380,6 +435,25 @@ class ShardedBackend(SparseBackend):
         self._session_open = True
         return ShardedHistogramSession(self)
 
+    def seeded_session(self, seed: HistogramSeed) -> HistogramSession:
+        if seed.array is not None:
+            return self.session(seed.array)
+        if self._session_open:
+            raise RuntimeError(
+                "this sharded backend already has an open histogram session "
+                "(there is a single shared-memory histogram); close it before "
+                "opening another"
+            )
+        # Uniform and per-slice seeds are written straight into the shared
+        # segment — no |D|-sized temporary in between.
+        view = self._histogram_view()
+        if seed.is_uniform:
+            view.fill(seed.cell_value(self._context.domain_size))
+        else:
+            view[:] = seed.cells(0, view.size, self._context.domain_size)
+        self._session_open = True
+        return ShardedHistogramSession(self)
+
     def estimated_memory(self) -> int:
         return self._resident_bytes(self._context)
 
@@ -391,4 +465,330 @@ class ShardedBackend(SparseBackend):
         self._executor = None
         self._shm = None
         self._view = None
+        self._session_open = False
+
+
+def _plan_domain_slices(
+    domain_size: int, shards: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[lo, hi)`` slices of the flat domain.
+
+    With ``chunk_size`` the bounds are chunk-aligned so a slice scan sees
+    exactly the chunks a full-domain scan would, just partitioned.  Tiny
+    domains may yield fewer slices than requested (bounds deduplicate).
+    """
+    if chunk_size:
+        num_chunks = -(-domain_size // chunk_size)
+        bounds = sorted(
+            {
+                min(round(num_chunks * i / shards) * chunk_size, domain_size)
+                for i in range(shards + 1)
+            }
+        )
+    else:
+        bounds = sorted({round(domain_size * i / shards) for i in range(shards + 1)})
+    return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+
+
+class DomainHistogramSession(HistogramSession):
+    """A histogram session over per-slice shared-memory segments.
+
+    Every op of the delta protocol is a slice-local write against the
+    segments the workers map — the histogram never exists as one buffer:
+
+    - ``scale_support`` splits the (sorted) support indices at the slice
+      bounds by binary search and rescales each slice locally;
+    - ``scale`` / ``fill`` apply to each slice independently;
+    - ``total`` sums one local scalar per slice (the one all-reduce a
+      renormalisation needs);
+    - ``answers`` dispatches shard ids to the pool, which combines the
+      per-slice partial answer vectors in fixed slice order;
+    - ``accumulate`` / ``averaged_slices`` keep one private accumulator
+      per slice, so the averaged PMW iterates are assembled (or streamed)
+      slice by slice.
+    """
+
+    def __init__(self, backend: "DomainShardedBackend"):
+        self._backend = backend
+        self._accumulators: list[np.ndarray] | None = None
+
+    def _parts(self) -> list[tuple[int, int, np.ndarray]]:
+        return self._backend._slice_views()
+
+    def answers(self) -> np.ndarray:
+        return self._backend._dispatch()
+
+    def scale_support(self, indices: np.ndarray, factors: np.ndarray) -> None:
+        if indices.size and np.any(np.diff(indices) < 0):
+            raise ValueError(
+                "scale_support on a domain-partitioned session requires "
+                "ascending indices (query supports are built sorted)"
+            )
+        for lo, hi, view in self._parts():
+            first = int(np.searchsorted(indices, lo, side="left"))
+            last = int(np.searchsorted(indices, hi, side="left"))
+            if first < last:
+                view[indices[first:last] - lo] *= factors[first:last]
+
+    def scale(self, factor: float) -> None:
+        for _lo, _hi, view in self._parts():
+            view *= factor
+
+    def fill(self, value: float) -> None:
+        for _lo, _hi, view in self._parts():
+            view.fill(value)
+
+    def total(self) -> float:
+        return float(sum(float(view.sum()) for _lo, _hi, view in self._parts()))
+
+    def accumulate(self) -> None:
+        parts = self._parts()
+        if self._accumulators is None:
+            self._accumulators = [np.zeros_like(view) for _lo, _hi, view in parts]
+        for accumulator, (_lo, _hi, view) in zip(self._accumulators, parts):
+            accumulator += view
+
+    def averaged_slices(self, divisor: float):
+        parts = self._parts()
+        if self._accumulators is None:
+            for lo, hi, _view in parts:
+                yield lo, hi, np.zeros(hi - lo, dtype=np.float64)
+        else:
+            for accumulator, (lo, hi, _view) in zip(self._accumulators, parts):
+                yield lo, hi, accumulator / float(divisor)
+
+    def close(self) -> None:
+        self._backend._session_open = False
+
+
+@register_backend
+class DomainShardedBackend(ShardedBackend):
+    """Domain-partitioned parallel evaluation: each shard owns a domain slice.
+
+    Where :class:`ShardedBackend` shards the CSR *rows* over one shared
+    ``8·|D|`` histogram, this backend shards the *domain*: every pool
+    worker owns a contiguous slice of the flat joint domain backed by its
+    own shared-memory segment of ``8·(slice length)`` bytes, so no single
+    allocation anywhere holds the full histogram — the representation that
+    scales past histograms one address space cannot hold.
+
+    Two slice representations mirror the sharded strategies: while the
+    total support fits the sparse budget the concatenated CSR entries are
+    split at the slice bounds with flat indices re-indexed slice-locally
+    (``representation == "csr"``); beyond it each shard runs the chunked
+    streaming re-scan over its (chunk-aligned) slice
+    (``representation == "chunked"``).
+
+    Cross-slice answer sums reassociate float additions, so answers match
+    the serial sparse backend to 1e-9 relative rather than bitwise; PMW
+    query selections remain bitwise reproducible under a fixed seed (the
+    E18 benchmark asserts both).  Opt-in only (``mode="domain"``): the
+    automatic cost model keeps preferring the bitwise-parity sharded
+    backend, so this strategy is chosen exactly where the histogram's own
+    footprint is the constraint.
+    """
+
+    name = "domain"
+    #: Just behind row-sharded CSR: the same parallel matvec, plus the
+    #: per-op slice bookkeeping of the partitioned session.
+    speed_rank = 12
+
+    def __init__(self, context: EvaluatorContext):
+        super().__init__(context)
+        self._shms: list[shared_memory.SharedMemory] | None = None
+        self._views: list[np.ndarray] | None = None
+        self._slices: list[tuple[int, int]] = []
+
+    # -- cost model -------------------------------------------------------
+    @classmethod
+    def is_eligible(cls, context: EvaluatorContext) -> bool:
+        # Opt-in only: explicit ``mode="domain"``.  Auto keeps preferring
+        # the sharded backend's bitwise parity while one |D| histogram is
+        # affordable; the partitioned layout is for when it is not.
+        return False
+
+    @classmethod
+    def _resident_bytes(cls, context: EvaluatorContext) -> int:
+        workers = cls.normalize_workers(context.config.workers)
+        if context.supports_fit_budget():
+            # The global CSR plus the slice-local re-indexed copy.
+            resident = 32 * context.total_support_size()
+        else:
+            resident = streaming_scratch_bytes(context) * workers * 3
+        # The per-slice segments jointly hold exactly one histogram.
+        return resident + 8 * context.domain_size
+
+    @classmethod
+    def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        return BackendCost(
+            backend=cls.name,
+            eligible=cls.is_eligible(context),
+            speed_rank=cls.speed_rank,
+            memory_bytes=cls._resident_bytes(context),
+        )
+
+    # -- pool management --------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        """Always ``"domain"``: shards own domain slices, not query rows."""
+        return "domain"
+
+    @property
+    def representation(self) -> str:
+        """``"csr"`` while the supports fit the sparse budget, else ``"chunked"``."""
+        return "csr" if self._context.supports_fit_budget() else "chunked"
+
+    def _domain_state(self) -> tuple[dict, list[tuple[int, int]]]:
+        """The worker state: per-slice re-indexed CSR entries or scan plans."""
+        context = self._context
+        state: dict = {
+            "strategy": "domain",
+            "num_queries": context.num_queries,
+            "representation": self.representation,
+        }
+        if self.representation == "csr":
+            slices = _plan_domain_slices(context.domain_size, self._workers)
+            row_ids, indices, values = self._ensure_csr()
+            slice_csr = []
+            for lo, hi in slices:
+                mask = (indices >= lo) & (indices < hi)
+                slice_csr.append(
+                    (row_ids[mask], indices[mask] - np.int64(lo), values[mask])
+                )
+            state["slice_csr"] = slice_csr
+        else:
+            slices = _plan_domain_slices(
+                context.domain_size, self._workers, context.config.chunk_size
+            )
+            state["shape"] = context.shape
+            state["chunk_size"] = context.config.chunk_size
+            state["plans"] = [
+                context.chunk_plan(index) for index in range(context.num_queries)
+            ]
+        state["slices"] = slices
+        return state, slices
+
+    def _start(self) -> None:
+        if self._executor is not None:
+            return
+        state, slices = self._domain_state()
+        key = next(_BACKEND_KEYS)
+        shms: list[shared_memory.SharedMemory] = []
+        try:
+            views = []
+            for lo, hi in slices:
+                shm = shared_memory.SharedMemory(create=True, size=max(8 * (hi - lo), 8))
+                shms.append(shm)
+                views.append(np.ndarray((hi - lo,), dtype=np.float64, buffer=shm.buf))
+            state["histograms"] = views
+            _WORKER_STATES[key] = state
+            use_fork = multiprocessing.get_start_method() == "fork"
+            payload = (
+                None
+                if use_fork
+                else {name: value for name, value in state.items() if name != "histograms"}
+            )
+            executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=multiprocessing.get_context("fork" if use_fork else "spawn"),
+                initializer=_init_worker,
+                initargs=(
+                    key,
+                    tuple(
+                        (shm.name, hi - lo) for shm, (lo, hi) in zip(shms, slices)
+                    ),
+                    payload,
+                ),
+            )
+        except BaseException:
+            # A failure after any segment was created — mid-way through the
+            # per-slice creation loop included — must not leave segments
+            # behind in /dev/shm (or a stale state entry).
+            _WORKER_STATES.pop(key, None)
+            state.pop("histograms", None)
+            views = None  # drop the buffer exports before closing the mappings
+            for shm in shms:
+                try:
+                    shm.close()
+                except Exception:
+                    pass
+                try:
+                    shm.unlink()
+                except Exception:
+                    pass
+            raise
+        self._executor = executor
+        self._shms = shms
+        self._views = views
+        self._slices = slices
+        self._key = key
+        self._num_shards = len(slices)
+        self._finalizer = weakref.finalize(self, _shutdown, executor, shms, key)
+
+    def _slice_views(self) -> list[tuple[int, int, np.ndarray]]:
+        """The ``(lo, hi, segment view)`` of every owned domain slice."""
+        self._start()
+        assert self._views is not None
+        return [
+            (lo, hi, view) for (lo, hi), view in zip(self._slices, self._views)
+        ]
+
+    def slice_plan(self) -> tuple[tuple[int, int], ...]:
+        """The contiguous ``[lo, hi)`` domain slices (starts the pool)."""
+        self._start()
+        return tuple(self._slices)
+
+    def slice_segment_bytes(self) -> tuple[int, ...]:
+        """Allocated bytes of each per-slice segment (starts the pool)."""
+        self._start()
+        assert self._shms is not None
+        return tuple(shm.size for shm in self._shms)
+
+    # -- evaluation -------------------------------------------------------
+    def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
+        if self._session_open:
+            raise RuntimeError(
+                "a histogram session is open on this domain backend and owns "
+                "the shared-memory slices; evaluate through the session or "
+                "close it first"
+            )
+        flat = self._context.validated_flat(flat)
+        for lo, hi, view in self._slice_views():
+            view[:] = flat[lo:hi]
+        return self._dispatch()
+
+    def session(self, initial: np.ndarray) -> HistogramSession:
+        return self.seeded_session(HistogramSeed.from_array(initial))
+
+    def seeded_session(self, seed: HistogramSeed) -> HistogramSession:
+        if self._session_open:
+            raise RuntimeError(
+                "this domain backend already has an open histogram session "
+                "(there is one set of shared-memory slices); close it before "
+                "opening another"
+            )
+        if seed.array is not None:
+            seed = HistogramSeed.from_array(self._context.validated_flat(seed.array))
+        domain_size = self._context.domain_size
+        if seed.is_uniform:
+            value = seed.cell_value(domain_size)
+            for _lo, _hi, view in self._slice_views():
+                view.fill(value)
+        else:
+            # Array and per-slice seeds are realised one slice at a time —
+            # the parent never builds the seed as one |D| buffer.
+            for lo, hi, view in self._slice_views():
+                view[:] = seed.cells(lo, hi, domain_size)
+        self._session_open = True
+        return DomainHistogramSession(self)
+
+    def close(self) -> None:
+        """Shut down the worker pool and unlink every per-slice segment."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._executor = None
+        self._shms = None
+        self._views = None
+        self._slices = []
         self._session_open = False

@@ -150,3 +150,46 @@ class TestSyntheticDataset:
         synthetic = self._make(query, histogram)
         tuples = list(synthetic.to_tuples(threshold=0.5))
         assert tuples == [((0, 1, 0), 3.0)]
+
+class TestFlatSliceAssembly:
+    """Slice-based assembly and iteration: the |D|-free transport format."""
+
+    def _privacy(self):
+        return PrivacySpec(1.0, 1e-5)
+
+    def test_from_flat_slices_round_trips_iter_flat_slices(self):
+        query = two_table_query(3, 2, 4)
+        rng = np.random.default_rng(0)
+        histogram = rng.random(query.shape)
+        dataset = SyntheticDataset(query, histogram, self._privacy())
+        for slice_size in (1, 5, 7, query.joint_domain_size, 10**6):
+            rebuilt = SyntheticDataset.from_flat_slices(
+                query, dataset.iter_flat_slices(slice_size), self._privacy()
+            )
+            assert np.array_equal(rebuilt.histogram, histogram), slice_size
+
+    def test_iter_flat_slices_yields_readonly_views(self):
+        query = two_table_query(2, 2, 2)
+        dataset = SyntheticDataset(query, np.ones(query.shape), self._privacy())
+        slices = list(dataset.iter_flat_slices(3))
+        starts = [start for start, _stop, _cells in slices]
+        stops = [stop for _start, stop, _cells in slices]
+        assert starts[0] == 0 and stops[-1] == query.joint_domain_size
+        assert starts[1:] == stops[:-1]
+        for start, stop, cells in slices:
+            assert cells.shape == (stop - start,)
+            assert not cells.flags.writeable
+        with pytest.raises(ValueError):
+            next(dataset.iter_flat_slices(0))
+
+    def test_assemble_rejects_gaps_and_overlaps(self):
+        from repro.core.synthetic import assemble_flat_histogram
+
+        cells = np.ones(4)
+        assert np.array_equal(
+            assemble_flat_histogram(8, [(0, 4, cells), (4, 8, cells)]), np.ones(8)
+        )
+        with pytest.raises(ValueError):
+            assemble_flat_histogram(8, [(0, 4, cells)])  # gap: cells 4..8 missing
+        with pytest.raises(ValueError):
+            assemble_flat_histogram(8, [(0, 4, cells), (2, 6, cells), (4, 8, cells)])

@@ -29,13 +29,14 @@ from repro.experiments import (
     e15_evaluator_scaling,
     e16_sharded_evaluation,
     e17_streaming_prefetch,
+    e18_domain_partitioned,
 )
 
 
 class TestRegistry:
     def test_all_experiments_registered_and_described(self):
         assert set(EXPERIMENTS) == set(DESCRIPTIONS)
-        assert len(EXPERIMENTS) == 17
+        assert len(EXPERIMENTS) == 18
         for name, runner in EXPERIMENTS.items():
             assert callable(runner), name
 
@@ -211,3 +212,26 @@ class TestIndividualExperiments:
         assert result["selections_match"]
         assert result["histograms_match"]
         assert result["auto_consistent"], result["auto_mode"]
+
+    def test_e18_domain_partitioned(self):
+        result = e18_domain_partitioned.run(
+            size_a=8,
+            size_b=4,
+            size_c=8,
+            workers=2,
+            eval_repeats=1,
+            pmw_rounds=2,
+            tuples_per_relation=60,
+            chunk_size=256,
+            seed=0,
+        )
+        assert {row["backend"] for row in result["rows"]} == {"sparse", "domain"}
+        assert result["num_shards"] >= 2
+        # The partitioning contract holds even at smoke size: per-slice
+        # segments stay under the fair-share bound, answers match serial
+        # sparse to 1e-9, and PMW selections are bitwise identical.
+        assert result["partition_bound_holds"], result["max_slice_bytes"]
+        assert result["answers_match"], result["max_abs_diff"]
+        assert result["selections_match"]
+        assert result["histograms_close"], result["pmw_histogram_diff"]
+        assert result["slice_roundtrip_ok"]

@@ -21,6 +21,7 @@ from repro.core.pmw import PMWConfig, private_multiplicative_weights
 from repro.queries.backends import (
     EvaluatorConfig,
     EvaluatorContext,
+    HistogramSeed,
     SparseBackend,
     iter_decoded_chunks,
     register_backend,
@@ -40,7 +41,7 @@ from repro.queries.workload import Workload
 from repro.relational.hypergraph import path3_query, two_table_query
 from repro.relational.instance import Instance
 
-_BUILTIN_BACKENDS = {"dense", "sparse", "sharded", "streaming", "prefetch"}
+_BUILTIN_BACKENDS = {"dense", "sparse", "sharded", "streaming", "prefetch", "domain"}
 
 
 def _random_workload(seed: int) -> Workload:
@@ -281,6 +282,180 @@ class TestShardedBackend:
             sharded.close()
 
 
+class TestDomainBackend:
+    """The domain-partitioned strategy: per-slice segments, op-only sessions."""
+
+    def test_slice_plan_partitions_the_domain(self):
+        workload = _random_workload(0)
+        evaluator = WorkloadEvaluator(workload, mode="domain", workers=2)
+        try:
+            evaluator.answers_on_histogram(np.zeros(workload.join_query.shape))
+            plan = evaluator.backend.slice_plan()
+            assert plan[0][0] == 0
+            assert plan[-1][1] == workload.join_query.joint_domain_size
+            for (_, hi), (lo, _) in zip(plan, plan[1:]):
+                assert hi == lo  # contiguous, no gaps or overlaps
+            segment_bytes = evaluator.backend.slice_segment_bytes()
+            assert list(segment_bytes) == [max(8 * (hi - lo), 8) for lo, hi in plan]
+        finally:
+            evaluator.close()
+
+    def test_session_deltas_reach_workers(self):
+        """In-place per-slice writes must be visible to the next evaluation."""
+        workload = _random_workload(0)
+        rng = np.random.default_rng(21)
+        flat = rng.random(workload.join_query.joint_domain_size)
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        domain = WorkloadEvaluator(workload, mode="domain", workers=2)
+        try:
+            session = domain.histogram_session(flat)
+            reference = serial.answers_on_histogram(flat)
+            scale = max(1.0, float(np.abs(reference).max()))
+            assert np.max(np.abs(session.answers() - reference)) <= 1e-9 * scale
+            indices = np.array([0, 2, 5], dtype=np.int64)
+            session.scale_support(indices, np.full(3, 1.5))
+            session.scale(2.0)
+            expected = flat.copy()
+            expected[indices] *= 1.5
+            expected *= 2.0
+            updated = serial.answers_on_histogram(expected)
+            scale = max(1.0, float(np.abs(updated).max()))
+            assert np.max(np.abs(session.answers() - updated)) <= 1e-9 * scale
+            assert session.total() == pytest.approx(float(expected.sum()))
+            session.close()
+        finally:
+            domain.close()
+
+    def test_scale_support_requires_ascending_indices(self):
+        workload = _random_workload(0)
+        domain = WorkloadEvaluator(workload, mode="domain", workers=2)
+        try:
+            session = domain.histogram_session(
+                seed=HistogramSeed.uniform(float(workload.join_query.joint_domain_size))
+            )
+            with pytest.raises(ValueError, match="ascending"):
+                session.scale_support(
+                    np.array([5, 2], dtype=np.int64), np.array([1.5, 2.0])
+                )
+            session.close()
+        finally:
+            domain.close()
+
+    def test_seed_specs_never_materialize_in_the_parent(self):
+        """Uniform and per-slice initializer seeds land slice by slice."""
+        workload = _random_workload(0)
+        domain_size = workload.join_query.joint_domain_size
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        domain = WorkloadEvaluator(workload, mode="domain", workers=2)
+        try:
+            session = domain.histogram_session(seed=HistogramSeed.uniform(40.0))
+            uniform = np.full(domain_size, 40.0 / domain_size)
+            reference = serial.answers_on_histogram(uniform)
+            scale = max(1.0, float(np.abs(reference).max()))
+            assert np.max(np.abs(session.answers() - reference)) <= 1e-9 * scale
+            assert session.total() == pytest.approx(40.0)
+            session.close()
+
+            ramp = HistogramSeed.from_slices(
+                lambda start, stop, _domain: np.arange(start, stop, dtype=np.float64)
+            )
+            session = domain.histogram_session(seed=ramp)
+            reference = serial.answers_on_histogram(
+                np.arange(domain_size, dtype=np.float64)
+            )
+            scale = max(1.0, float(np.abs(reference).max()))
+            assert np.max(np.abs(session.answers() - reference)) <= 1e-9 * scale
+            session.close()
+        finally:
+            domain.close()
+
+    def test_single_session_guard_and_reuse_after_close(self):
+        workload = _random_workload(0)
+        rng = np.random.default_rng(22)
+        flat = rng.random(workload.join_query.joint_domain_size)
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        domain = WorkloadEvaluator(workload, mode="domain", workers=2)
+        try:
+            session = domain.histogram_session(flat)
+            with pytest.raises(RuntimeError):
+                domain.answers_on_histogram(flat)
+            with pytest.raises(RuntimeError):
+                domain.histogram_session(flat)
+            session.close()
+            reference = serial.answers_on_histogram(flat)
+            scale = max(1.0, float(np.abs(reference).max()))
+            assert np.max(np.abs(domain.answers_on_histogram(flat) - reference)) <= (
+                1e-9 * scale
+            )
+            # Full teardown and restart: new segments, same answers.
+            domain.close()
+            assert np.max(np.abs(domain.answers_on_histogram(flat) - reference)) <= (
+                1e-9 * scale
+            )
+        finally:
+            domain.close()
+
+    def test_chunked_representation_matches_csr(self):
+        workload = _random_workload(0)
+        rng = np.random.default_rng(23)
+        histogram = rng.random(workload.join_query.shape) * 5.0
+        csr = WorkloadEvaluator(workload, mode="domain", workers=2)
+        chunked = WorkloadEvaluator(
+            workload, mode="domain", workers=2, sparse_cell_budget=1, chunk_size=16
+        )
+        try:
+            assert csr.backend.representation == "csr"
+            assert chunked.backend.representation == "chunked"
+            reference = csr.answers_on_histogram(histogram)
+            scale = max(1.0, float(np.abs(reference).max()))
+            answers = chunked.answers_on_histogram(histogram)
+            assert np.max(np.abs(answers - reference)) <= 1e-9 * scale
+        finally:
+            csr.close()
+            chunked.close()
+
+    def test_mid_segment_creation_failure_unwinds_earlier_segments(
+        self, monkeypatch, shm_segments
+    ):
+        """A failure creating slice k must unlink slices 0..k-1, not leak them."""
+        import repro.queries.sharded as sharded_module
+
+        workload = _random_workload(0)
+        histogram = np.zeros(workload.join_query.shape)
+        serial = WorkloadEvaluator(workload, mode="sparse")
+        evaluator = WorkloadEvaluator(workload, mode="domain", workers=2)
+        real_shm = sharded_module.shared_memory.SharedMemory
+        creates = {"count": 0}
+
+        def flaky_shm(*args, **kwargs):
+            if kwargs.get("create"):
+                creates["count"] += 1
+                if creates["count"] == 2:
+                    raise OSError("injected segment failure")
+            return real_shm(*args, **kwargs)
+
+        try:
+            with monkeypatch.context() as patch:
+                patch.setattr(
+                    "repro.queries.sharded.shared_memory.SharedMemory", flaky_shm
+                )
+                baseline = shm_segments()
+                with pytest.raises(OSError, match="injected segment failure"):
+                    evaluator.answers_on_histogram(histogram)
+                assert creates["count"] == 2, "second slice segment never attempted"
+                assert shm_segments() == baseline, (
+                    "mid-segment _start failure leaked the earlier slice segments"
+                )
+            # The failure path left the backend consistent: the very next
+            # evaluation creates every slice segment for real.
+            assert np.array_equal(
+                evaluator.answers_on_histogram(histogram),
+                serial.answers_on_histogram(histogram),
+            )
+        finally:
+            evaluator.close()
+
+
 class TestSharedEvaluatorCache:
     def test_same_settings_share_one_evaluator(self):
         workload = _random_workload(1)
@@ -445,10 +620,11 @@ class TestBackendLifecycle:
         finally:
             evaluator.close()
 
-    def test_start_failure_does_not_leak_shm(self, monkeypatch, shm_segments):
+    @pytest.mark.parametrize("mode", ["sharded", "domain"])
+    def test_start_failure_does_not_leak_shm(self, mode, monkeypatch, shm_segments):
         workload = _random_workload(0)
         histogram = np.zeros(workload.join_query.shape)
-        evaluator = WorkloadEvaluator(workload, mode="sharded", workers=2)
+        evaluator = WorkloadEvaluator(workload, mode=mode, workers=2)
 
         def refuse_to_start(*args, **kwargs):
             raise RuntimeError("injected pool failure")

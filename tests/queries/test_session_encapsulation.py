@@ -1,0 +1,60 @@
+"""Static guard: histogram storage is private to the queries package.
+
+The PR that introduced the session op protocol removed every direct
+``HistogramSession.array`` access outside ``src/repro/queries/`` — PMW and
+the release pipeline talk to sessions purely through the ops
+(``answers`` / ``scale_support`` / ``scale`` / ``fill`` / ``total`` /
+``accumulate`` / ``averaged_slices`` / ``close``), which is what lets a
+backend keep its histogram in per-slice shared-memory segments instead of
+one ``|D|``-cell array.  This test keeps it that way: it AST-scans every
+module outside the queries package and fails on any ``.array`` / ``._array``
+attribute access that could re-couple callers to the dense representation.
+
+``np.array(...)`` / ``numpy.array(...)`` constructor calls are exempt — the
+guard targets attribute reads on session-like objects, not the numpy API.
+"""
+
+import ast
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+_QUERIES = _SRC / "queries"
+
+#: Attribute names that would re-expose a session's backing storage.
+_FORBIDDEN = {"array", "_array"}
+
+#: Names whose ``.array`` attribute is the numpy constructor, not storage.
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+def _modules_outside_queries():
+    for path in sorted(_SRC.rglob("*.py")):
+        if _QUERIES in path.parents:
+            continue
+        yield path
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute) or node.attr not in _FORBIDDEN:
+            continue
+        if isinstance(node.value, ast.Name) and node.value.id in _NUMPY_ALIASES:
+            continue
+        found.append(f"{path}:{node.lineno}: .{node.attr} attribute access")
+    return found
+
+
+def test_source_tree_has_modules_to_scan():
+    modules = list(_modules_outside_queries())
+    assert len(modules) > 10, "guard scanned suspiciously few modules"
+
+
+def test_no_histogram_array_access_outside_queries_package():
+    violations = [v for path in _modules_outside_queries() for v in _violations(path)]
+    assert not violations, (
+        "histogram backing arrays are private to src/repro/queries/ — use the "
+        "HistogramSession ops (answers/scale_support/scale/fill/total/"
+        "accumulate/averaged_slices) instead:\n" + "\n".join(violations)
+    )
