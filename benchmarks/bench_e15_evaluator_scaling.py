@@ -26,9 +26,10 @@ def test_e15_evaluator_scaling(benchmark):
     print()
     print(result["table"])
     # The workload genuinely exceeds the dense cell budget (the regime the
-    # sparse engine exists for) and auto mode routes it off the dense path.
+    # sparse engine exists for) and auto mode routes it off the dense path
+    # ("vector" since the fused batch kernels outrank the serial matvec here).
     assert result["dense_cells"] > result["cell_budget"]
-    assert result["auto_mode"] in ("sparse", "streaming")
+    assert result["auto_mode"] in ("vector", "sparse", "streaming")
     # ≥ 3× peak-memory reduction for the sparse form; streaming stays below
     # dense as well (its extra memory is bounded by the chunk size).
     assert result["memory_ratio_sparse"] >= 3.0

@@ -58,8 +58,10 @@ from repro.experiments import (  # noqa: E402  (path bootstrap must run first)
     e16_sharded_evaluation,
     e17_streaming_prefetch,
     e18_domain_partitioned,
+    e19_vectorized_evaluation,
 )
 from repro.queries.evaluation import get_default_backend  # noqa: E402
+from repro.queries.vectorized import ENGINES  # noqa: E402
 
 #: Where the per-benchmark ``BENCH_<id>.json`` records land by default.
 _RESULTS_DIR = _BENCH_DIR / "results"
@@ -162,6 +164,22 @@ SMOKE_RUNS: dict[str, tuple] = {
             size_b=4,
             size_c=8,
             workers=2,
+            eval_repeats=1,
+            pmw_rounds=2,
+            tuples_per_relation=60,
+            chunk_size=256,
+            seed=0,
+        ),
+    ),
+    # The smoke engine defaults to the always-available NumPy kernel so the
+    # record is stable across machines; ``--engine jax`` swaps it.
+    "bench_e19_vectorized_evaluation": (
+        e19_vectorized_evaluation.run,
+        dict(
+            size_a=8,
+            size_b=4,
+            size_c=8,
+            engine="numpy",
             eval_repeats=1,
             pmw_rounds=2,
             tuples_per_relation=60,
@@ -279,7 +297,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip copying the records to repo-root BENCH_<id>.json files",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="pin the vector-backend kernel engine for the E19 smoke run "
+        "(default: the always-available numpy engine)",
+    )
     args = parser.parse_args(argv)
+    if args.engine is not None:
+        SMOKE_RUNS["bench_e19_vectorized_evaluation"][1]["engine"] = args.engine
     for name, _result in iter_smoke_results(json_dir=args.results_dir):
         print(f"{name}: ok")
     print(f"{len(SMOKE_RUNS)} benchmark scripts executed")

@@ -7,13 +7,17 @@ Usage::
     python -m repro.cli run all --seed 1    # run the full suite
     python -m repro.cli run e16 --evaluator-backend sharded --workers 4
     python -m repro.cli run e17 --evaluator-backend prefetch
+    python -m repro.cli run e19 --evaluator-backend vector
     python -m repro.cli demo                # tiny end-to-end quickstart
 
 Every experiment corresponds to a row of the per-experiment index in
 DESIGN.md; the printed tables are the ones recorded in EXPERIMENTS.md.
 ``--evaluator-backend`` / ``--workers`` set the process-wide default
 workload-evaluation backend (see ``repro.queries.backends``), so every
-release algorithm in the run inherits them.
+release algorithm in the run inherits them.  ``vector`` selects the fused
+batch-kernel backend; its engine (JAX when importable, NumPy otherwise)
+auto-detects per process, or is pinned per evaluator via the ``engine``
+keyword.
 """
 
 from __future__ import annotations
@@ -99,7 +103,9 @@ def main(argv: list[str] | None = None) -> int:
             "--evaluator-backend",
             choices=("auto",) + registered_backends(),
             default="auto",
-            help="workload-evaluation backend for every release in the run",
+            help="workload-evaluation backend for every release in the run "
+            "('vector' = fused batch kernels, JAX engine when importable "
+            "with a NumPy fallback)",
         )
         sub.add_argument(
             "--workers",

@@ -1,6 +1,6 @@
 """The experiment harness: one module per reproduced paper artefact.
 
-Every experiment ``E1 ... E18`` of DESIGN.md's per-experiment index lives in
+Every experiment ``E1 ... E19`` of DESIGN.md's per-experiment index lives in
 its own module with a ``run(...)`` function returning a dictionary that always
 contains a ``"table"`` entry (an :class:`repro.analysis.reporting.ExperimentTable`)
 plus experiment-specific raw values that the benchmark suite asserts on.  The
@@ -28,6 +28,7 @@ from repro.experiments import (
     e16_sharded_evaluation,
     e17_streaming_prefetch,
     e18_domain_partitioned,
+    e19_vectorized_evaluation,
 )
 
 EXPERIMENTS = {
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "e16": e16_sharded_evaluation.run,
     "e17": e17_streaming_prefetch.run,
     "e18": e18_domain_partitioned.run,
+    "e19": e19_vectorized_evaluation.run,
 }
 
 DESCRIPTIONS = {
@@ -70,6 +72,7 @@ DESCRIPTIONS = {
     "e16": "Sharded multi-process evaluation — parallel speedup with bitwise PMW parity",
     "e17": "Pipelined streaming evaluation — async chunk prefetch with bitwise parity",
     "e18": "Domain-partitioned histograms — per-slice shared memory, no |D| allocation",
+    "e19": "Vectorised batch kernels — fused whole-workload evaluation, JAX jit or NumPy",
 }
 
 __all__ = ["EXPERIMENTS", "DESCRIPTIONS"]

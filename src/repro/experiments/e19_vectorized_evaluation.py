@@ -1,0 +1,209 @@
+"""E19 — fused batch-kernel evaluation vs the serial sparse matvec.
+
+The vectorised backend (``mode="vector"``, see
+:class:`repro.queries.vectorized.VectorizedBackend`) compiles the whole
+workload into packed batch tensors once and answers every evaluation with
+a single fused kernel call, through one of two interchangeable engines: a
+``jax.jit`` path when JAX is importable and a pure-NumPy/scipy CPU path
+otherwise.  This experiment reuses the E15 marginal workload at E15 scale
+— the regime where the automatic cost model upgrades ``sparse`` to
+``vector`` — and records
+
+* per-evaluation wall time of the serial sparse matvec and of each vector
+  engine that can run in this process, plus the speedups,
+* the maximum answer deviation per engine (the NumPy engine's fused CSR
+  matvec accumulates each row in the same element order as the sparse
+  backend's ``np.bincount``, so with scipy present its answers are
+  bitwise identical; the padded-einsum fallback and the JAX engine agree
+  to 1e-9),
+* whether PMW runs — same seed, one per engine — select bitwise identical
+  query sequences against the serial sparse reference and reproduce its
+  noisy total and histogram,
+* the automatic choice at this scale (must be ``vector``) and the packed
+  layout's shape: exact support entries, padded entries, waste ratio,
+  bucket count.
+
+The benchmark (``benchmarks/bench_e19_vectorized_evaluation.py``) asserts
+the parity and PMW-selection properties for every engine that runs, and a
+≥ 2× NumPy-engine speedup over ``sparse`` at this scale on CPU; the JAX
+speedup is reported but not asserted, so CI without an accelerator stays
+green.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+from repro.core.pmw import PMWConfig, private_multiplicative_weights
+from repro.experiments.e15_evaluator_scaling import _marginal_workload
+from repro.experiments.e16_sharded_evaluation import _random_instance
+from repro.queries.evaluation import WorkloadEvaluator, auto_evaluator_mode
+from repro.queries.vectorized import jax_available
+from repro.relational.hypergraph import two_table_query
+
+
+def _time_evaluations(
+    evaluator: WorkloadEvaluator, histogram: np.ndarray, repeats: int
+) -> tuple[np.ndarray, float]:
+    """Warm the backend (packing + kernel compile), then time evaluations."""
+    answers = evaluator.answers_on_histogram(histogram)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        answers = evaluator.answers_on_histogram(histogram)
+    seconds = (time.perf_counter() - start) / max(repeats, 1)
+    return answers, seconds
+
+
+def run(
+    *,
+    size_a: int = 128,
+    size_b: int = 64,
+    size_c: int = 128,
+    engine: str | None = None,
+    eval_repeats: int = 10,
+    pmw_rounds: int = 4,
+    tuples_per_relation: int = 1000,
+    chunk_size: int = 1 << 18,
+    histogram_total: float = 4000.0,
+    epsilon: float = 1.0,
+    delta: float = 1e-5,
+    seed: int = 0,
+) -> dict:
+    """Profile the vector engines against serial sparse on the E15 workload.
+
+    ``engine`` pins one kernel engine (``"numpy"`` or ``"jax"``); the
+    default measures the NumPy engine always and the JAX engine whenever
+    JAX is importable.
+    """
+    rng = np.random.default_rng(seed)
+    query = two_table_query(size_a, size_b, size_c)
+    workload = _marginal_workload(query)
+
+    histogram = rng.random(query.shape)
+    histogram *= histogram_total / histogram.sum()
+    flat = histogram.reshape(-1)
+
+    if engine is not None:
+        engines = [engine]
+    else:
+        engines = ["numpy"] + (["jax"] if jax_available() else [])
+
+    sparse = WorkloadEvaluator(workload, mode="sparse", chunk_size=chunk_size)
+    reference, sparse_seconds = _time_evaluations(sparse, flat, eval_repeats)
+
+    instance = _random_instance(query, tuples_per_relation, rng)
+    pmw_config = PMWConfig(num_iterations=pmw_rounds)
+    pmw_reference = private_multiplicative_weights(
+        instance, workload, epsilon, delta, 1.0,
+        seed=seed, evaluator=sparse, config=pmw_config,
+    )
+
+    rows = [
+        {
+            "backend": "sparse",
+            "engine": "-",
+            "eval_seconds": sparse_seconds,
+            "speedup": 1.0,
+            "max_abs_diff": 0.0,
+            "estimated_mib": sparse.estimated_memory() / 2**20,
+        }
+    ]
+    per_engine: dict[str, dict] = {}
+    packed_stats: dict | None = None
+    for engine_name in engines:
+        vectorized = WorkloadEvaluator(
+            workload, mode="vector", chunk_size=chunk_size, engine=engine_name
+        )
+        answers, engine_seconds = _time_evaluations(vectorized, flat, eval_repeats)
+        pmw_vector = private_multiplicative_weights(
+            instance, workload, epsilon, delta, 1.0,
+            seed=seed, evaluator=vectorized, config=pmw_config,
+        )
+        backend = vectorized.backend
+        packed = backend.packed_workload()
+        if packed_stats is None:
+            packed_stats = {
+                "total_entries": packed.total_entries,
+                "padded_entries": packed.padded_entries,
+                "waste_ratio": packed.waste_ratio,
+                "num_buckets": len(packed.bucket_spans),
+            }
+        kernel = backend._ensure_kernel()  # noqa: SLF001  (reporting the active path)
+        record = {
+            "eval_seconds": engine_seconds,
+            "speedup": sparse_seconds / max(engine_seconds, 1e-12),
+            "max_abs_diff": float(np.max(np.abs(answers - reference))),
+            "answers_bitwise": bool(np.array_equal(answers, reference)),
+            "fused": bool(getattr(kernel, "fused", engine_name == "jax")),
+            "selections_match": (
+                pmw_vector.selected_queries == pmw_reference.selected_queries
+            ),
+            "noisy_total_match": pmw_vector.noisy_total == pmw_reference.noisy_total,
+            "histogram_max_abs_diff": float(
+                np.max(np.abs(pmw_vector.histogram - pmw_reference.histogram))
+            ),
+            "estimated_mib": vectorized.estimated_memory() / 2**20,
+        }
+        per_engine[engine_name] = record
+        rows.append(
+            {
+                "backend": "vector",
+                "engine": engine_name,
+                "eval_seconds": engine_seconds,
+                "speedup": record["speedup"],
+                "max_abs_diff": record["max_abs_diff"],
+                "estimated_mib": record["estimated_mib"],
+            }
+        )
+
+    # At this scale (and these default budgets) the cost model must rank
+    # the packed kernels ahead of the serial CSR matvec.
+    auto_mode = auto_evaluator_mode(workload)
+
+    parity_ok = all(record["max_abs_diff"] <= 1e-9 for record in per_engine.values())
+    selections_ok = all(record["selections_match"] for record in per_engine.values())
+    packed_summary = (
+        f"entries={packed_stats['total_entries']}, "
+        f"waste={packed_stats['waste_ratio']:.2f}x, "
+        if packed_stats
+        else ""
+    )
+    table = ExperimentTable(
+        title=(
+            "E19: vectorised batch kernels — "
+            f"|Q|={len(workload)}, |D|={query.joint_domain_size}, "
+            f"{packed_summary}auto={auto_mode}, "
+            f"answers {'parity' if parity_ok else 'DIVERGE'}, "
+            f"PMW selections {'match' if selections_ok else 'DIVERGE'}"
+        ),
+        columns=["backend", "engine", "eval (s)", "speedup", "max |diff|", "est. resident (MiB)"],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["backend"],
+                row["engine"],
+                round(row["eval_seconds"], 5),
+                round(row["speedup"], 2),
+                f"{row['max_abs_diff']:.1e}",
+                round(row["estimated_mib"], 3),
+            ]
+        )
+
+    return {
+        "table": table,
+        "rows": rows,
+        "backend": "vector",
+        "num_queries": len(workload),
+        "domain_size": query.joint_domain_size,
+        "engines": engines,
+        "jax_available": jax_available(),
+        "sparse_eval_seconds": sparse_seconds,
+        "per_engine": per_engine,
+        "packed": packed_stats,
+        "auto_mode": auto_mode,
+        "selected_queries": list(pmw_reference.selected_queries),
+    }

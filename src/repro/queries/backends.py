@@ -179,12 +179,18 @@ def streaming_scratch_bytes(context: "EvaluatorContext") -> int:
 
 @dataclass(frozen=True)
 class EvaluatorConfig:
-    """Budgets and knobs shared by every backend of one evaluator."""
+    """Budgets and knobs shared by every backend of one evaluator.
+
+    ``engine`` selects the kernel engine of engine-aware backends (the
+    vectorised backend's ``"jax"``/``"numpy"``; ``None`` = auto-detect).
+    Backends without interchangeable kernels ignore it.
+    """
 
     cell_budget: int = _MATRIX_CELL_BUDGET
     sparse_cell_budget: int = _SPARSE_CELL_BUDGET
     chunk_size: int = _DEFAULT_CHUNK_SIZE
     workers: int = 1
+    engine: str | None = None
 
 
 class EvaluatorContext:
@@ -572,12 +578,18 @@ class ArrayHistogramSession(HistogramSession):
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class BackendCost:
-    """One backend's entry in the automatic-choice cost model."""
+    """One backend's entry in the automatic-choice cost model.
+
+    ``reason`` explains an ineligible entry (budget exceeded, availability
+    probe failed, ...) so cost reports say *why* a backend was ruled out;
+    it is empty for eligible entries.
+    """
 
     backend: str
     eligible: bool
     speed_rank: int
     memory_bytes: int
+    reason: str = ""
 
 
 class EvaluationBackend:
@@ -613,6 +625,21 @@ class EvaluationBackend:
         return self._workers
 
     # -- cost model -------------------------------------------------------
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's runtime requirements are met at all.
+
+        An *availability* probe checks optional dependencies and hardware
+        (an importable accelerator library, a second core, ...) — properties
+        of the process, not of one workload; :meth:`is_eligible` then judges
+        the workload against the budgets.  The automatic choice skips
+        backends whose probe returns ``False`` — or raises: a broken
+        optional dependency must degrade the auto choice, never abort it —
+        and :func:`backend_costs` records the failure as the entry's
+        ``reason``.
+        """
+        return True
+
     @classmethod
     def normalize_workers(cls, workers: int) -> int:
         """The effective worker count for a requested one.
@@ -695,12 +722,26 @@ _REGISTRY: dict[str, type[EvaluationBackend]] = {}
 
 
 def register_backend(cls: type[EvaluationBackend]) -> type[EvaluationBackend]:
-    """Class decorator adding a backend to the registry (keyed by ``cls.name``)."""
+    """Class decorator adding a backend to the registry (keyed by ``cls.name``).
+
+    Re-registering the *same* class is an idempotent no-op (module reloads);
+    registering a *different* class under an existing mode name is rejected —
+    silently shadowing an earlier backend would reroute every consumer of
+    that name without a trace.  Replace a backend explicitly by calling
+    :func:`unregister_backend` first.
+    """
     name = getattr(cls, "name", None)
     if not name or not isinstance(name, str):
         raise ValueError("a backend class must define a non-empty string `name`")
     if name == "auto":
         raise ValueError('"auto" is reserved for the automatic choice')
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"evaluator backend name {name!r} is already registered to "
+            f"{existing.__qualname__}; unregister_backend({name!r}) first to "
+            "replace it"
+        )
     _REGISTRY[name] = cls
     return cls
 
@@ -730,17 +771,36 @@ def _ranked_backends() -> Iterator[type[EvaluationBackend]]:
     yield from sorted(_REGISTRY.values(), key=lambda cls: (cls.speed_rank, order[cls.name]))
 
 
+def _availability(cls: type[EvaluationBackend]) -> tuple[bool, str]:
+    """``(available, reason-if-not)`` of one backend's availability probe.
+
+    A probe that *raises* counts as unavailable with the error recorded —
+    a backend whose optional dependency is broken must drop out of the
+    automatic choice, not abort it.
+    """
+    try:
+        if cls.is_available():
+            return True, ""
+        return False, "availability probe returned False"
+    except Exception as error:  # noqa: BLE001  (reported in the cost entry)
+        return False, f"availability probe raised {type(error).__name__}: {error}"
+
+
 def choose_backend(context: EvaluatorContext) -> str:
-    """The cost model's pick: the fastest eligible registered backend.
+    """The cost model's pick: the fastest available and eligible backend.
 
     Backends are probed in ``speed_rank`` order, so expensive eligibility
     measurements (the sparse support count) only run when every faster
-    backend has already been ruled out.
+    backend has already been ruled out.  Unavailable backends — probe
+    returns ``False`` or raises — are skipped without aborting the choice.
     """
     for cls in _ranked_backends():
-        if cls.is_eligible(context):
+        if _availability(cls)[0] and cls.is_eligible(context):
             return cls.name
-    raise RuntimeError("no registered evaluation backend is eligible")
+    raise RuntimeError(
+        "no registered evaluation backend is eligible; registered backends: "
+        f"{registered_backends()}"
+    )
 
 
 def backend_costs(context: EvaluatorContext) -> tuple[BackendCost, ...]:
@@ -748,9 +808,27 @@ def backend_costs(context: EvaluatorContext) -> tuple[BackendCost, ...]:
 
     Unlike :func:`choose_backend` this measures every entry (including the
     exact total support size), so it is meant for planning and reporting,
-    not for the evaluation hot path.
+    not for the evaluation hot path.  Backends whose availability probe
+    fails appear as ineligible entries whose ``reason`` records the probe
+    outcome, keeping the report consistent with what the automatic choice
+    actually skipped.
     """
-    return tuple(cls.estimate_cost(context) for cls in _ranked_backends())
+    costs = []
+    for cls in _ranked_backends():
+        available, reason = _availability(cls)
+        if not available:
+            costs.append(
+                BackendCost(
+                    backend=cls.name,
+                    eligible=False,
+                    speed_rank=cls.speed_rank,
+                    memory_bytes=0,
+                    reason=reason,
+                )
+            )
+            continue
+        costs.append(cls.estimate_cost(context))
+    return tuple(costs)
 
 
 # ---------------------------------------------------------------------- #
@@ -777,11 +855,15 @@ class DenseBackend(EvaluationBackend):
     @classmethod
     def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
         cells = context.num_queries * context.domain_size
+        eligible = cells <= context.config.cell_budget
         return BackendCost(
             backend=cls.name,
-            eligible=cells <= context.config.cell_budget,
+            eligible=eligible,
             speed_rank=cls.speed_rank,
             memory_bytes=8 * cells,
+            reason=""
+            if eligible
+            else f"|Q|*|D| = {cells} cells exceeds cell budget {context.config.cell_budget}",
         )
 
     def answers_on_histogram(self, flat: np.ndarray) -> np.ndarray:
@@ -818,11 +900,16 @@ class SparseBackend(EvaluationBackend):
     @classmethod
     def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
         total = context.total_support_size()
+        eligible = total <= context.config.sparse_cell_budget
         return BackendCost(
             backend=cls.name,
-            eligible=total <= context.config.sparse_cell_budget,
+            eligible=eligible,
             speed_rank=cls.speed_rank,
             memory_bytes=16 * total,
+            reason=""
+            if eligible
+            else f"total support {total} exceeds sparse cell budget "
+            f"{context.config.sparse_cell_budget}",
         )
 
     def _ensure_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -937,11 +1024,13 @@ class PrefetchingStreamingBackend(StreamingBackend):
 
     @classmethod
     def estimate_cost(cls, context: EvaluatorContext) -> BackendCost:
+        eligible = cls.is_eligible(context)
         return BackendCost(
             backend=cls.name,
-            eligible=cls.is_eligible(context),
+            eligible=eligible,
             speed_rank=cls.speed_rank,
             memory_bytes=cls._scratch_bytes(context),
+            reason="" if eligible else "needs >= 2 cores to overlap decode with compute",
         )
 
     @classmethod

@@ -44,6 +44,18 @@ algorithms never care which one is active:
     bitwise — PMW *selections* stay bitwise under a fixed seed).  Opt-in
     via ``mode="domain"``; this is the strategy for histograms one address
     space cannot hold.
+``vector``
+    The whole workload compiled once into packed batch tensors (the
+    concatenated CSR supports plus bucketed rectangular index/weight
+    padding) and answered by one fused kernel call per evaluation.  Two
+    interchangeable engines share the packed layout, selected by the
+    ``engine`` knob: a ``jax.jit`` path with the histogram resident on
+    the device across PMW rounds (requires the optional JAX dependency,
+    ``pip install .[jax]``), and a pure-NumPy/scipy CPU path whose fused
+    CSR matvec is bitwise identical to ``sparse``.  Auto-eligible when
+    the workload is large enough to amortise packing and rectangular
+    enough to pad within the cost model's waste limit — at that point it
+    outranks serial ``sparse``.
 
 Iterated evaluation drives a :class:`~repro.queries.backends.HistogramSession`
 — an operation protocol (``answers``, ``scale_support``, ``scale``,
@@ -95,11 +107,13 @@ from repro.queries.backends import (
     registered_backends,
     unregister_backend,
 )
+from repro.queries.vectorized import ENGINES, resolve_engine
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
 
-# Importing the module registers the sharded backend.
+# Importing the modules registers the sharded and vectorised backends.
 import repro.queries.sharded  # noqa: F401  (registration side effect)
+import repro.queries.vectorized  # noqa: F401  (registration side effect)
 
 
 @dataclass(frozen=True)
@@ -203,6 +217,12 @@ class WorkloadEvaluator:
         automatic choice; ``domain`` sizes its per-slice segments by it)
         and the decode look-ahead depth of the prefetching streaming
         backend.
+    engine:
+        Kernel engine for engine-aware backends: ``"jax"`` or ``"numpy"``
+        for the vector backend (``None`` auto-detects, preferring JAX
+        when importable), and any non-``None`` value opts the sharded
+        backend's workers into fused per-shard CSR kernels.  Backends
+        without interchangeable kernels ignore it.
     """
 
     def __init__(
@@ -216,7 +236,12 @@ class WorkloadEvaluator:
         sparse_cell_budget: int = _SPARSE_CELL_BUDGET,
         chunk_size: int = _DEFAULT_CHUNK_SIZE,
         workers: int | None = None,
+        engine: str | None = None,
     ):
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(
+                f"unknown vector engine {engine!r}; expected one of {ENGINES} or None"
+            )
         name = backend if backend is not None else mode
         if name is None:
             if materialize is True:
@@ -248,6 +273,7 @@ class WorkloadEvaluator:
                 sparse_cell_budget=int(sparse_cell_budget),
                 chunk_size=int(chunk_size),
                 workers=int(workers),
+                engine=engine,
             ),
         )
         self._backend: EvaluationBackend | None = None
@@ -283,6 +309,14 @@ class WorkloadEvaluator:
     @property
     def workers(self) -> int:
         return self._context.config.workers
+
+    @property
+    def engine(self) -> str | None:
+        """The kernel engine: resolved by the active backend when it has one."""
+        backend = self._backend
+        if backend is not None and hasattr(backend, "engine"):
+            return backend.engine
+        return self._context.config.engine
 
     @property
     def mode(self) -> str:
@@ -471,26 +505,24 @@ def auto_evaluator_mode(
 # ---------------------------------------------------------------------- #
 # shared evaluator cache
 # ---------------------------------------------------------------------- #
-_CACHE_ATTRIBUTE = "_repro_shared_evaluators"
-
-
 def shared_evaluator(
     workload: Workload,
     *,
     backend: str | None = None,
     workers: int | None = None,
+    engine: str | None = None,
 ) -> WorkloadEvaluator:
-    """One cached evaluator per workload and ``(backend, workers)`` setting.
+    """One cached evaluator per workload and ``(backend, workers, engine)``.
 
     The release algorithms and baselines call this instead of constructing a
     fresh :class:`WorkloadEvaluator` per invocation, so repeated releases
     over the same workload — uniformized per-bucket runs, trial sweeps, the
-    baselines — share the dense matrix, cached query supports, or sharded
-    worker pool.  The cache lives on the workload object itself (a plain
-    attribute), so entries are evicted exactly when the workload is
-    garbage-collected — the cache/evaluator/workload reference cycle is
-    collectable, unlike a module-level weak-key mapping whose values keep
-    their keys alive.
+    baselines — share the dense matrix, cached query supports, compiled
+    vector kernels, or sharded worker pool.  The cache lives on the
+    workload object itself (:meth:`~repro.queries.workload.Workload.private_cache`),
+    so entries are evicted exactly when the workload is garbage-collected —
+    the cache/evaluator/workload reference cycle is collectable, unlike a
+    module-level weak-key mapping whose values keep their keys alive.
     """
     default_backend, default_workers = get_default_backend()
     name = backend if backend is not None else default_backend
@@ -502,16 +534,20 @@ def shared_evaluator(
         # Canonicalise through the backend's worker invariant (sharded's
         # >= 2 floor) so equivalent requests share one cache entry.
         workers = backend_class(name).normalize_workers(workers)
-    key = (name, int(workers))
-    cache: dict[tuple[str, int], WorkloadEvaluator] | None = getattr(
-        workload, _CACHE_ATTRIBUTE, None
-    )
-    if cache is None:
-        cache = {}
-        setattr(workload, _CACHE_ATTRIBUTE, cache)
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(
+            f"unknown vector engine {engine!r}; expected one of {ENGINES} or None"
+        )
+    # The vector backend resolves ``None`` to a concrete engine at
+    # construction, so canonicalise the key the same way: the JAX and
+    # NumPy compilations must never collide, and ``None`` must share the
+    # entry of whichever engine it resolves to.
+    canonical_engine = resolve_engine(engine) if name == "vector" else engine
+    key = (name, int(workers), canonical_engine)
+    cache = workload.private_cache("shared_evaluators")
     evaluator = cache.get(key)
     if evaluator is None:
-        evaluator = WorkloadEvaluator(workload, mode=name, workers=workers)
+        evaluator = WorkloadEvaluator(workload, mode=name, workers=workers, engine=engine)
         cache[key] = evaluator
     return evaluator
 

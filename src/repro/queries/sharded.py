@@ -155,6 +155,16 @@ def _eval_shard(key: int, shard_id: int) -> np.ndarray:
         return _scan_range(state, histogram, start, end, offset=start)
     histogram = state["histograms"][0]
     if strategy == "csr":
+        kernels = state.get("shard_kernels")
+        if kernels is not None:
+            # Engine-configured path: the shard's rows as one fused CSR
+            # matvec (scipy).  Row-sequential accumulation in element order
+            # matches the bincount below bitwise, so answers — and PMW
+            # selections — are unchanged.
+            row_lo, row_hi = state["row_spans"][shard_id]
+            partial = np.zeros(num_queries, dtype=np.float64)
+            partial[row_lo:row_hi] = kernels[shard_id] @ histogram
+            return partial
         lo, hi = state["shards"][shard_id]
         rows = state["row_ids"][lo:hi]
         indices = state["indices"][lo:hi]
@@ -305,6 +315,18 @@ class ShardedBackend(SparseBackend):
             "values": values,
             "shards": shards,
         }
+        if self._context.config.engine is not None:
+            # An explicit engine opts the workers into the vector backend's
+            # fused CSR matvec for their local row slice (scipy only — JAX
+            # state never crosses a fork; absent scipy the bincount path
+            # stands).  Partials stay bitwise identical either way.
+            from repro.queries.vectorized import shard_matvec_kernels
+
+            kernels = shard_matvec_kernels(
+                row_bounds, offsets, indices, values, self._context.domain_size
+            )
+            if kernels is not None:
+                state["row_spans"], state["shard_kernels"] = kernels
         return state, len(shards)
 
     def _chunk_shards(self) -> tuple[dict, int]:

@@ -41,7 +41,15 @@ from repro.queries.workload import Workload
 from repro.relational.hypergraph import path3_query, two_table_query
 from repro.relational.instance import Instance
 
-_BUILTIN_BACKENDS = {"dense", "sparse", "sharded", "streaming", "prefetch", "domain"}
+_BUILTIN_BACKENDS = {
+    "dense",
+    "sparse",
+    "sharded",
+    "streaming",
+    "prefetch",
+    "domain",
+    "vector",
+}
 
 
 def _random_workload(seed: int) -> Workload:
@@ -110,6 +118,62 @@ class TestRegistry:
             unregister_backend("test-echo")
         assert "test-echo" not in registered_backends()
         assert auto_evaluator_mode(workload) == "dense"
+
+    def test_duplicate_mode_name_rejected(self):
+        """A second class under an existing mode name is an error, not a
+        silent replacement; re-registering the same class is a no-op."""
+
+        @register_backend
+        class FirstBackend(SparseBackend):
+            name = "test-dup"
+            speed_rank = 500
+
+        try:
+            assert register_backend(FirstBackend) is FirstBackend  # idempotent
+            with pytest.raises(ValueError, match="already registered"):
+
+                @register_backend
+                class SecondBackend(SparseBackend):
+                    name = "test-dup"
+                    speed_rank = 501
+
+        finally:
+            unregister_backend("test-dup")
+        assert "test-dup" not in registered_backends()
+
+    @pytest.mark.parametrize("probe_style", ["returns-false", "raises"])
+    def test_unavailable_backend_skipped_not_fatal(self, probe_style):
+        """A backend whose availability probe fails (returns False or raises,
+        e.g. a broken optional dependency) drops out of the automatic choice
+        without aborting it, and the cost report records why."""
+        workload = _random_workload(0)
+
+        @register_backend
+        class BrokenBackend(SparseBackend):
+            name = "test-broken"
+            speed_rank = -2  # would beat every builtin if it were available
+
+            @classmethod
+            def is_available(cls):
+                if probe_style == "raises":
+                    raise ImportError("optional dependency is broken")
+                return False
+
+        try:
+            # The auto choice quietly falls through to the fastest builtin.
+            assert auto_evaluator_mode(workload) == "dense"
+            costs = {cost.backend: cost for cost in evaluator_backend_costs(workload)}
+            entry = costs["test-broken"]
+            assert not entry.eligible
+            if probe_style == "raises":
+                assert "ImportError" in entry.reason
+                assert "optional dependency is broken" in entry.reason
+            else:
+                assert entry.reason == "availability probe returned False"
+            # Eligible entries carry no reason.
+            assert costs["dense"].eligible and costs["dense"].reason == ""
+        finally:
+            unregister_backend("test-broken")
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
