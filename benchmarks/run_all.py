@@ -12,11 +12,13 @@ imports break, signatures drift, result keys disappear).  For every benchmark
 script it
 
 1. imports the script and checks it still defines a ``test_*`` entry point;
-2. runs the wrapped experiment ``run()`` with tiny smoke kwargs;
+2. runs the wrapped experiment ``run()`` with tiny smoke kwargs, with the
+   runtime telemetry layer recording (``repro.telemetry``);
 3. checks the result carries the ``"table"`` contract every experiment obeys;
-4. writes a machine-readable ``results/BENCH_<id>.json`` (wall time, peak
-   traced memory, evaluation backend) so the performance trajectory can be
-   tracked across PRs.
+4. writes a machine-readable ``results/BENCH_<id>.json`` record (schema v2:
+   wall time, peak traced memory, evaluation backend, UTC timestamp, host
+   info, and the per-stage wall/CPU timing breakdown from the run's tracing
+   spans) so the performance trajectory can be tracked across PRs.
 
 The test suite wires this in behind the opt-in ``bench_smoke`` marker
 (``pytest --bench-smoke``), see ``tests/benchmarks/test_bench_smoke.py``.
@@ -25,8 +27,11 @@ The test suite wires this in behind the opt-in ``bench_smoke`` marker
 from __future__ import annotations
 
 import argparse
+import datetime
 import importlib.util
 import json
+import os
+import platform as _platform
 import shutil
 import sys
 import time
@@ -34,34 +39,22 @@ import tracemalloc
 from pathlib import Path
 from typing import Iterator
 
+import numpy as np
+
 _BENCH_DIR = Path(__file__).resolve().parent
 _SRC = _BENCH_DIR.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.experiments import (  # noqa: E402  (path bootstrap must run first)
-    e01_flawed_variants,
-    e02_two_table_scaling,
-    e03_lower_bound_two_table,
-    e04_delta_floor,
-    e05_multi_table,
-    e06_uniformize_two_table,
-    e07_example42,
-    e08_hierarchical,
-    e09_worst_case_agm,
-    e10_conforming,
-    e11_baseline_composition,
-    e12_tpch,
-    e13_single_table_pmw,
-    e14_privacy_audit,
-    e15_evaluator_scaling,
-    e16_sharded_evaluation,
-    e17_streaming_prefetch,
-    e18_domain_partitioned,
-    e19_vectorized_evaluation,
-)
+from repro import telemetry  # noqa: E402  (path bootstrap must run first)
+from repro.experiments import EXPERIMENTS  # noqa: E402
+from repro.queries.backends import effective_cpu_count  # noqa: E402
 from repro.queries.evaluation import get_default_backend  # noqa: E402
 from repro.queries.vectorized import ENGINES  # noqa: E402
+
+#: Version of the ``BENCH_<id>.json`` record layout.  v2 added the UTC
+#: timestamp, host info, and the telemetry stage breakdown.
+BENCH_SCHEMA_VERSION = 2
 
 #: Where the per-benchmark ``BENCH_<id>.json`` records land by default.
 _RESULTS_DIR = _BENCH_DIR / "results"
@@ -69,67 +62,67 @@ _RESULTS_DIR = _BENCH_DIR / "results"
 #: benchmark script stem -> (experiment runner, tiny smoke kwargs)
 SMOKE_RUNS: dict[str, tuple] = {
     "bench_e01_flawed_variants": (
-        e01_flawed_variants.run,
+        EXPERIMENTS["e1"],
         dict(n=40, side_domain_size=4, trials=2, seed=0),
     ),
     "bench_e02_two_table_scaling": (
-        e02_two_table_scaling.run,
+        EXPERIMENTS["e2"],
         dict(num_values_sweep=(2, 4), degree_sweep=(2,), num_queries=6, trials=1, seed=0),
     ),
     "bench_e03_lower_bound_two_table": (
-        e03_lower_bound_two_table.run,
+        EXPERIMENTS["e3"],
         dict(n=6, domain_size=3, num_queries=4, delta_sweep=(1, 2), seed=0),
     ),
     "bench_e04_delta_floor": (
-        e04_delta_floor.run,
+        EXPERIMENTS["e4"],
         dict(degree_sweep=(1, 4), num_values=2, trials=2, seed=0),
     ),
     "bench_e05_multi_table": (
-        e05_multi_table.run,
+        EXPERIMENTS["e5"],
         dict(scale_sweep=(0.25,), num_queries=5, trials=1, seed=0),
     ),
     "bench_e06_uniformize_two_table": (
-        e06_uniformize_two_table.run,
+        EXPERIMENTS["e6"],
         dict(n_sweep=(16,), num_queries=5, trials=1, seed=0),
     ),
     "bench_e07_example42": (
-        e07_example42.run,
+        EXPERIMENTS["e7"],
         dict(k_sweep=(4,), num_queries=5, trials=1, seed=0),
     ),
     "bench_e08_hierarchical": (
-        e08_hierarchical.run,
+        EXPERIMENTS["e8"],
         dict(domain_size=3, num_queries=4, seed=0),
     ),
     "bench_e09_worst_case_agm": (
-        e09_worst_case_agm.run,
+        EXPERIMENTS["e9"],
         dict(domain_size=4, tuples_per_relation=8, trials=1, seed=0),
     ),
     "bench_e10_conforming": (
-        e10_conforming.run,
+        EXPERIMENTS["e10"],
         dict(out_vectors=({1: 40},), num_queries=5, trials=1, seed=0),
     ),
     "bench_e11_baseline_composition": (
-        e11_baseline_composition.run,
+        EXPERIMENTS["e11"],
         dict(workload_sizes=(4, 8), num_join_values=6, tuples_per_relation=40, trials=1, seed=0),
     ),
     "bench_e12_tpch": (
-        e12_tpch.run,
+        EXPERIMENTS["e12"],
         dict(scale_sweep=(0.25,), num_predicate_queries=4, seed=0),
     ),
     "bench_e13_single_table_pmw": (
-        e13_single_table_pmw.run,
+        EXPERIMENTS["e13"],
         dict(n_sweep=(30,), domain_shape={"X": 6, "Y": 6}, num_queries=8, trials=1, seed=0),
     ),
     "bench_e14_privacy_audit": (
-        e14_privacy_audit.run,
+        EXPERIMENTS["e14"],
         dict(trials=10, seed=0),
     ),
     "bench_e15_evaluator_scaling": (
-        e15_evaluator_scaling.run,
+        EXPERIMENTS["e15"],
         dict(size_a=8, size_b=4, size_c=8, chunk_size=512, eval_repeats=1, seed=0),
     ),
     "bench_e16_sharded_evaluation": (
-        e16_sharded_evaluation.run,
+        EXPERIMENTS["e16"],
         dict(
             size_a=8,
             size_b=4,
@@ -143,7 +136,7 @@ SMOKE_RUNS: dict[str, tuple] = {
         ),
     ),
     "bench_e17_streaming_prefetch": (
-        e17_streaming_prefetch.run,
+        EXPERIMENTS["e17"],
         dict(
             size_a=8,
             size_b=4,
@@ -158,7 +151,7 @@ SMOKE_RUNS: dict[str, tuple] = {
         ),
     ),
     "bench_e18_domain_partitioned": (
-        e18_domain_partitioned.run,
+        EXPERIMENTS["e18"],
         dict(
             size_a=8,
             size_b=4,
@@ -174,7 +167,7 @@ SMOKE_RUNS: dict[str, tuple] = {
     # The smoke engine defaults to the always-available NumPy kernel so the
     # record is stable across machines; ``--engine jax`` swaps it.
     "bench_e19_vectorized_evaluation": (
-        e19_vectorized_evaluation.run,
+        EXPERIMENTS["e19"],
         dict(
             size_a=8,
             size_b=4,
@@ -214,6 +207,18 @@ def _load_bench_module(name: str):
     return module
 
 
+def host_info() -> dict:
+    """The host facts a perf record needs to be comparable across machines."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "effective_cpus": effective_cpu_count(),
+        "python": _platform.python_version(),
+        "numpy": np.__version__,
+        "platform": _platform.system(),
+        "machine": _platform.machine(),
+    }
+
+
 def write_bench_record(name: str, result: dict, wall_seconds: float, peak_mib: float, json_dir: Path) -> Path:
     """Write one machine-readable ``BENCH_<id>.json`` performance record.
 
@@ -223,16 +228,28 @@ def write_bench_record(name: str, result: dict, wall_seconds: float, peak_mib: f
     resolved ``auto_mode`` choice), falling back to the configured process
     default (which may be the literal ``"auto"``) for experiments that do
     not report one.
+
+    Schema v2 adds the UTC timestamp, the host info the numbers were taken
+    on, and — when the run recorded telemetry — ``stages``: the per-span
+    wall/CPU timing breakdown (PMW rounds, mechanism draws, backend choice,
+    packing, ...) aggregated by stage name.
     """
     json_dir.mkdir(parents=True, exist_ok=True)
+    snapshot = result.get("telemetry") or {}
     record = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": name,
         "experiment": name.removeprefix("bench_").split("_")[0],
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": host_info(),
         "wall_seconds": round(wall_seconds, 6),
         "peak_mib": round(peak_mib, 3),
         "backend": result.get("backend")
         or result.get("auto_mode")
         or get_default_backend()[0],
+        "stages": snapshot.get("stages", {}),
     }
     path = json_dir / f"BENCH_{name.removeprefix('bench_')}.json"
     path.write_text(json.dumps(record, indent=2) + "\n")
@@ -242,31 +259,41 @@ def write_bench_record(name: str, result: dict, wall_seconds: float, peak_mib: f
 def iter_smoke_results(json_dir: Path | None = _RESULTS_DIR) -> Iterator[tuple[str, dict]]:
     """Execute every benchmark's experiment at smoke size, yielding results.
 
-    Each run is timed and memory-traced; unless ``json_dir`` is ``None`` a
-    ``BENCH_<id>.json`` record is written per benchmark.
+    Each run is timed, memory-traced, and telemetry-recorded (the registry
+    is reset per benchmark, so every record's stage breakdown covers exactly
+    its own run); unless ``json_dir`` is ``None`` a ``BENCH_<id>.json``
+    record is written per benchmark.  Telemetry is restored to disabled on
+    the way out, even on failure.
     """
     check_coverage()
-    for name, (runner, kwargs) in sorted(SMOKE_RUNS.items()):
-        module = _load_bench_module(name)
-        entry_points = [attr for attr in dir(module) if attr.startswith("test_")]
-        if not entry_points:
-            raise AssertionError(f"{name}.py defines no test_* entry point")
-        tracemalloc.start()
-        start = time.perf_counter()
-        result = runner(**kwargs)
-        wall_seconds = time.perf_counter() - start
-        # Experiments that profile memory themselves (e.g. E15) stop the
-        # global tracer mid-run; their records then report a 0 peak and the
-        # per-mode peaks live in the experiment's own rows instead.
-        peak_mib = (
-            tracemalloc.get_traced_memory()[1] / 2**20 if tracemalloc.is_tracing() else 0.0
-        )
-        tracemalloc.stop()
-        if not isinstance(result, dict) or "table" not in result:
-            raise AssertionError(f"{name}: experiment result lost its 'table' contract")
-        if json_dir is not None:
-            write_bench_record(name, result, wall_seconds, peak_mib, json_dir)
-        yield name, result
+    telemetry_was_enabled = telemetry.is_enabled()
+    telemetry.configure(enabled=True)
+    try:
+        for name, (runner, kwargs) in sorted(SMOKE_RUNS.items()):
+            module = _load_bench_module(name)
+            entry_points = [attr for attr in dir(module) if attr.startswith("test_")]
+            if not entry_points:
+                raise AssertionError(f"{name}.py defines no test_* entry point")
+            telemetry.reset()
+            tracemalloc.start()
+            start = time.perf_counter()
+            result = runner(**kwargs)
+            wall_seconds = time.perf_counter() - start
+            # Experiments that profile memory themselves (e.g. E15) stop the
+            # global tracer mid-run; their records then report a 0 peak and the
+            # per-mode peaks live in the experiment's own rows instead.
+            peak_mib = (
+                tracemalloc.get_traced_memory()[1] / 2**20 if tracemalloc.is_tracing() else 0.0
+            )
+            tracemalloc.stop()
+            if not isinstance(result, dict) or "table" not in result:
+                raise AssertionError(f"{name}: experiment result lost its 'table' contract")
+            if json_dir is not None:
+                write_bench_record(name, result, wall_seconds, peak_mib, json_dir)
+            yield name, result
+    finally:
+        if not telemetry_was_enabled:
+            telemetry.disable()
 
 
 def copy_records_to_root(json_dir: Path, root: Path | None = None) -> list[Path]:

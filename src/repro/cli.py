@@ -18,14 +18,24 @@ release algorithm in the run inherits them.  ``vector`` selects the fused
 batch-kernel backend; its engine (JAX when importable, NumPy otherwise)
 auto-detects per process, or is pinned per evaluator via the ``engine``
 keyword.
+
+``--telemetry`` turns the runtime telemetry layer on for the whole run
+(``repro.telemetry``): backend choices, PMW rounds, mechanism invocations
+and privacy spend are counted/timed, and a JSON metrics snapshot is
+printed after each experiment.  ``--trace-out PATH`` (implies
+``--telemetry``) additionally exports the recorded tracing spans as a
+Chrome-trace file — load it at ``chrome://tracing`` or
+https://ui.perfetto.dev to see the nested span timeline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import telemetry
 from repro.experiments import DESCRIPTIONS, EXPERIMENTS
 from repro.queries.evaluation import registered_backends, set_default_backend
 
@@ -52,6 +62,10 @@ def _cmd_run(names: list[str], seed: int, markdown: bool) -> int:
         print()
         print(table.to_markdown() if markdown else table.to_text())
         print(f"[{name} finished in {elapsed:.1f}s]")
+        snapshot = result.get("telemetry")
+        if snapshot is not None:
+            print(f"[{name} telemetry]")
+            print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
     return 0
 
 
@@ -116,16 +130,44 @@ def main(argv: list[str] | None = None) -> int:
             "choice; 'domain' gives each worker its own histogram slice) and "
             "the decode look-ahead depth of the 'prefetch' streaming backend",
         )
+        sub.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="record runtime telemetry (metrics + tracing spans) for the "
+            "whole run and print a JSON snapshot per experiment",
+        )
+        sub.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            default=None,
+            help="write the recorded tracing spans as a Chrome-trace JSON "
+            "file (chrome://tracing / ui.perfetto.dev); implies --telemetry",
+        )
 
     args = parser.parse_args(argv)
     if args.command in ("run", "demo"):
         set_default_backend(args.evaluator_backend, args.workers)
+        if args.telemetry or args.trace_out is not None:
+            telemetry.configure(enabled=True)
     if args.command == "list":
         return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args.experiments, args.seed, args.markdown)
-    if args.command == "demo":
-        return _cmd_demo(args.seed)
+    try:
+        if args.command == "run":
+            return _cmd_run(args.experiments, args.seed, args.markdown)
+        if args.command == "demo":
+            status = _cmd_demo(args.seed)
+            if telemetry.is_enabled():
+                print("[demo telemetry]")
+                print(
+                    json.dumps(
+                        telemetry.snapshot(), indent=2, sort_keys=True, default=str
+                    )
+                )
+            return status
+    finally:
+        if args.command in ("run", "demo") and args.trace_out is not None:
+            telemetry.export_chrome_trace(args.trace_out)
+            print(f"[chrome trace written to {args.trace_out}]", file=sys.stderr)
     return 2
 
 

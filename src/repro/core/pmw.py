@@ -40,6 +40,15 @@ support delta plus one renormalisation scale, the averaged iterates
 accumulate inside the session, and the released histogram is assembled from
 the session's ``averaged_slices``.  Nothing here ever sees the backing
 array.
+
+**Telemetry.**  When :mod:`repro.telemetry` is enabled, a run is one
+``pmw.run`` span containing a ``pmw.round`` span per iteration (scores and
+the multiplicative update as ``pmw.scores``/``pmw.update`` sub-spans, the
+selected query attached as an attribute), the budget spend lands on
+``pmw.epsilon_spent``/``pmw.delta_spent`` counters plus per-run
+``privacy.run.*`` gauges, and guarded renormalisation resets count on
+``pmw.renorm_resets``.  The instrumentation never touches the RNG, so
+selections are bitwise identical with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
 from repro.mechanisms.truncated_laplace import sample_truncated_laplace, truncation_radius
 from repro.core.synthetic import assemble_flat_histogram
+from repro.telemetry import registry as telemetry_registry, trace
 from repro.queries.backends import HistogramSeed
 from repro.queries.evaluation import WorkloadEvaluator, shared_evaluator
 from repro.queries.workload import Workload
@@ -147,6 +157,7 @@ def _renormalize(session, noisy_total: float, domain_size: int) -> None:
     if np.isfinite(total) and total > 0.0:
         session.scale(noisy_total / total)
     else:
+        telemetry_registry().counter("pmw.renorm_resets").add()
         session.fill(noisy_total / domain_size)
 
 
@@ -206,87 +217,110 @@ def private_multiplicative_weights(
     join_query = workload.join_query
     domain_size = join_query.joint_domain_size
 
-    # Step 1: release the total count with one-sided truncated Laplace noise
-    # ((ε/2, δ/2) of the budget), unless a flawed-baseline override is active.
-    true_total = join_size(instance)
-    if config.force_total is not None:
-        noisy_total = float(config.force_total)
-        total_privacy = None
-        rounds_epsilon, rounds_delta = epsilon, delta
-    else:
-        radius = truncation_radius(epsilon / 2.0, delta / 2.0, sensitivity_bound)
-        noise = sample_truncated_laplace(
-            2.0 * sensitivity_bound / epsilon, radius, rng=generator
-        )
-        noisy_total = float(true_total) + float(noise)
-        total_privacy = PrivacySpec(epsilon / 2.0, delta / 2.0)
-        rounds_epsilon, rounds_delta = epsilon / 2.0, delta / 2.0
-    rounds_privacy = PrivacySpec(rounds_epsilon, rounds_delta)
+    with trace(
+        "pmw.run", queries=len(workload), domain=domain_size, epsilon=epsilon, delta=delta
+    ) as run_span:
+        telemetry = telemetry_registry()
+        telemetry.counter("pmw.runs").add()
+        telemetry.counter("pmw.epsilon_spent").add(epsilon)
+        telemetry.counter("pmw.delta_spent").add(delta)
+        telemetry.gauge("privacy.run.epsilon").set(epsilon)
+        telemetry.gauge("privacy.run.delta").set(delta)
 
-    if noisy_total <= 0:
-        histogram = np.zeros(join_query.shape, dtype=float)
-        return PMWResult(
-            histogram=histogram,
-            noisy_total=noisy_total,
-            sensitivity_bound=sensitivity_bound,
-            iterations=0,
-            epsilon_per_round=0.0,
-            privacy=PrivacySpec(epsilon, delta),
-            total_privacy=total_privacy,
-            rounds_privacy=rounds_privacy,
-        )
-
-    # Step 2: the adaptive rounds draw from the *remaining* budget (Lemma 3.2).
-    iterations = _auto_iterations(
-        noisy_total,
-        rounds_epsilon,
-        rounds_delta,
-        sensitivity_bound,
-        domain_size,
-        len(workload),
-        config,
-    )
-    epsilon_per_round = rounds_epsilon / (
-        16.0 * sqrt(iterations * max(log(1.0 / rounds_delta), 1.0))
-    )
-
-    # Step 3: multiplicative weights over the joint domain.  Scores come from
-    # one batched workload evaluation per round; the update rescales only the
-    # selected query's support cells (the factor is exp(0) = 1 elsewhere).
-    # The histogram lives in a backend session driven purely through its op
-    # protocol: the uniform start ships as a seed spec (partitioned backends
-    # realise it slice-locally; this process never allocates |D| cells for
-    # it), each round sends only the support delta and the renormalisation
-    # scale, and the averaged iterates accumulate inside the session.
-    true_answers = evaluator.answers_on_instance(instance)
-    session = evaluator.histogram_session(seed=HistogramSeed.uniform(noisy_total))
-    selected: list[int] = []
-
-    try:
-        for _round in range(iterations):
-            current_answers = session.answers()
-            scores = np.abs(current_answers - true_answers) / sensitivity_bound
-            query_index = exponential_mechanism(
-                scores, epsilon_per_round, 1.0, rng=generator
+        # Step 1: release the total count with one-sided truncated Laplace noise
+        # ((ε/2, δ/2) of the budget), unless a flawed-baseline override is active.
+        true_total = join_size(instance)
+        if config.force_total is not None:
+            noisy_total = float(config.force_total)
+            total_privacy = None
+            rounds_epsilon, rounds_delta = epsilon, delta
+        else:
+            radius = truncation_radius(epsilon / 2.0, delta / 2.0, sensitivity_bound)
+            noise = sample_truncated_laplace(
+                2.0 * sensitivity_bound / epsilon, radius, rng=generator
             )
-            selected.append(query_index)
+            noisy_total = float(true_total) + float(noise)
+            total_privacy = PrivacySpec(epsilon / 2.0, delta / 2.0)
+            rounds_epsilon, rounds_delta = epsilon / 2.0, delta / 2.0
+        rounds_privacy = PrivacySpec(rounds_epsilon, rounds_delta)
+        telemetry.gauge("pmw.noisy_total").set(noisy_total)
 
-            measurement = float(true_answers[query_index]) + sample_laplace(
-                sensitivity_bound / epsilon_per_round, rng=generator
+        if noisy_total <= 0:
+            run_span.set(iterations=0)
+            histogram = np.zeros(join_query.shape, dtype=float)
+            return PMWResult(
+                histogram=histogram,
+                noisy_total=noisy_total,
+                sensitivity_bound=sensitivity_bound,
+                iterations=0,
+                epsilon_per_round=0.0,
+                privacy=PrivacySpec(epsilon, delta),
+                total_privacy=total_privacy,
+                rounds_privacy=rounds_privacy,
             )
-            support_indices, support_values = evaluator.query_support(query_index)
-            step = (measurement - float(current_answers[query_index])) / (2.0 * noisy_total)
-            exponent = np.clip(
-                support_values * step, -config.update_clip, config.update_clip
-            )
-            session.scale_support(support_indices, np.exp(exponent))
-            _renormalize(session, noisy_total, domain_size)
-            session.accumulate()
-        flat_average = assemble_flat_histogram(
-            domain_size, session.averaged_slices(iterations)
+
+        # Step 2: the adaptive rounds draw from the *remaining* budget (Lemma 3.2).
+        iterations = _auto_iterations(
+            noisy_total,
+            rounds_epsilon,
+            rounds_delta,
+            sensitivity_bound,
+            domain_size,
+            len(workload),
+            config,
         )
-    finally:
-        session.close()
+        epsilon_per_round = rounds_epsilon / (
+            16.0 * sqrt(iterations * max(log(1.0 / rounds_delta), 1.0))
+        )
+        run_span.set(iterations=iterations)
+        telemetry.counter("pmw.rounds").add(iterations)
+        telemetry.gauge("pmw.epsilon_per_round").set(epsilon_per_round)
+
+        # Step 3: multiplicative weights over the joint domain.  Scores come from
+        # one batched workload evaluation per round; the update rescales only the
+        # selected query's support cells (the factor is exp(0) = 1 elsewhere).
+        # The histogram lives in a backend session driven purely through its op
+        # protocol: the uniform start ships as a seed spec (partitioned backends
+        # realise it slice-locally; this process never allocates |D| cells for
+        # it), each round sends only the support delta and the renormalisation
+        # scale, and the averaged iterates accumulate inside the session.
+        true_answers = evaluator.answers_on_instance(instance)
+        session = evaluator.histogram_session(seed=HistogramSeed.uniform(noisy_total))
+        selected: list[int] = []
+
+        try:
+            for round_index in range(iterations):
+                with trace("pmw.round", round=round_index) as round_span:
+                    with trace("pmw.scores"):
+                        current_answers = session.answers()
+                    scores = np.abs(current_answers - true_answers) / sensitivity_bound
+                    query_index = exponential_mechanism(
+                        scores, epsilon_per_round, 1.0, rng=generator
+                    )
+                    selected.append(query_index)
+                    round_span.set(selected=query_index)
+
+                    measurement = float(true_answers[query_index]) + sample_laplace(
+                        sensitivity_bound / epsilon_per_round, rng=generator
+                    )
+                    with trace("pmw.update"):
+                        support_indices, support_values = evaluator.query_support(
+                            query_index
+                        )
+                        step = (measurement - float(current_answers[query_index])) / (
+                            2.0 * noisy_total
+                        )
+                        exponent = np.clip(
+                            support_values * step, -config.update_clip, config.update_clip
+                        )
+                        session.scale_support(support_indices, np.exp(exponent))
+                        _renormalize(session, noisy_total, domain_size)
+                        session.accumulate()
+            flat_average = assemble_flat_histogram(
+                domain_size, session.averaged_slices(iterations)
+            )
+        finally:
+            session.close()
 
     histogram = flat_average.reshape(join_query.shape)
     return PMWResult(

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mechanisms.rng import resolve_rng
+from repro.telemetry import registry as _telemetry_registry, trace as _trace
 
 
 def exponential_mechanism_probabilities(
@@ -43,7 +44,14 @@ def exponential_mechanism(
     sensitivity: float = 1.0,
     rng: np.random.Generator | None = None,
 ) -> int:
-    """Sample a candidate index with the ε-DP exponential mechanism."""
-    probabilities = exponential_mechanism_probabilities(scores, epsilon, sensitivity)
-    generator = resolve_rng(rng)
-    return int(generator.choice(len(probabilities), p=probabilities))
+    """Sample a candidate index with the ε-DP exponential mechanism.
+
+    Telemetry: counts on ``mechanism.invocations{mechanism=exponential}`` and
+    times as a ``mechanism.exponential`` span (no-op while disabled; the RNG
+    is untouched by instrumentation).
+    """
+    _telemetry_registry().counter("mechanism.invocations", mechanism="exponential").add()
+    with _trace("mechanism.exponential", candidates=np.asarray(scores).size):
+        probabilities = exponential_mechanism_probabilities(scores, epsilon, sensitivity)
+        generator = resolve_rng(rng)
+        return int(generator.choice(len(probabilities), p=probabilities))

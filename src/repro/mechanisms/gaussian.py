@@ -12,6 +12,7 @@ from math import log, sqrt
 import numpy as np
 
 from repro.mechanisms.rng import resolve_rng
+from repro.telemetry import registry as _telemetry_registry, trace as _trace
 
 
 def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
@@ -36,6 +37,8 @@ def gaussian_mechanism(
     sigma = gaussian_sigma(sensitivity, epsilon, delta)
     generator = resolve_rng(rng)
     array = np.asarray(value, dtype=float)
-    noise = generator.normal(0.0, sigma, size=array.shape if array.shape else None)
+    _telemetry_registry().counter("mechanism.invocations", mechanism="gaussian").add()
+    with _trace("mechanism.gaussian", sigma=sigma):
+        noise = generator.normal(0.0, sigma, size=array.shape if array.shape else None)
     noisy = array + noise
     return float(noisy) if array.shape == () else noisy

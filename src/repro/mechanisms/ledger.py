@@ -6,11 +6,22 @@ composition (and the maximum under parallel composition when charges are
 tagged as disjoint).  The core algorithms work without a ledger — it exists so
 integration tests and the privacy-audit benchmark can assert that an
 end-to-end run never exceeds its declared budget.
+
+The ledger is **thread-safe**: charges, totals, resets, and subscription
+changes all serialise on an internal lock, so concurrent request handlers
+(the ROADMAP's per-tenant accountant) can share one ledger without losing or
+double-counting entries.  :meth:`PrivacyLedger.subscribe` registers an
+*observer* called once per charge (outside the lock, in charge order as
+observed by each caller) — :func:`repro.telemetry.observe_ledger` uses it to
+drive the privacy-spend counters, and a persistence layer can use it to
+journal charges.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.mechanisms.composition import basic_composition, parallel_composition
 from repro.mechanisms.spec import PrivacySpec
@@ -30,6 +41,13 @@ class PrivacyLedger:
     """Records mechanism charges and reports the composed total."""
 
     entries: list[LedgerEntry] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _observers: dict[int, Callable[[LedgerEntry], None]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _next_token: int = field(default=0, repr=False, compare=False)
 
     def charge(
         self, label: str, spec: PrivacySpec, *, parallel_group: str | None = None
@@ -39,16 +57,45 @@ class PrivacyLedger:
         ``parallel_group`` marks charges that act on disjoint parts of the
         data: charges sharing a group compose in parallel (max) before the
         group total enters basic composition with everything else.
+
+        Thread-safe; observers run after the entry is recorded, outside the
+        lock (an observer may itself consult the ledger without deadlocking).
         """
-        self.entries.append(LedgerEntry(label=label, spec=spec, parallel_group=parallel_group))
+        entry = LedgerEntry(label=label, spec=spec, parallel_group=parallel_group)
+        with self._lock:
+            self.entries.append(entry)
+            observers = tuple(self._observers.values())
+        for observer in observers:
+            observer(entry)
+
+    def subscribe(
+        self, observer: Callable[[LedgerEntry], None]
+    ) -> Callable[[], None]:
+        """Register an observer called once per future charge.
+
+        Returns an idempotent unsubscribe callable.  Observers must not
+        raise: an exception from one propagates to the charging caller.
+        """
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._observers[token] = observer
+
+        def unsubscribe() -> None:
+            with self._lock:
+                self._observers.pop(token, None)
+
+        return unsubscribe
 
     def total(self) -> PrivacySpec:
         """The composed (ε, δ) guarantee of everything charged so far."""
-        if not self.entries:
+        with self._lock:
+            entries = tuple(self.entries)
+        if not entries:
             raise ValueError("no charges recorded")
         sequential: list[PrivacySpec] = []
         groups: dict[str, list[PrivacySpec]] = {}
-        for entry in self.entries:
+        for entry in entries:
             if entry.parallel_group is None:
                 sequential.append(entry.spec)
             else:
@@ -58,7 +105,9 @@ class PrivacyLedger:
         return basic_composition(sequential)
 
     def reset(self) -> None:
-        self.entries.clear()
+        with self._lock:
+            self.entries.clear()
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)

@@ -15,6 +15,7 @@ from math import exp, expm1, log
 import numpy as np
 
 from repro.mechanisms.rng import resolve_rng
+from repro.telemetry import registry as _telemetry_registry, trace as _trace
 
 
 def truncation_radius(epsilon: float, delta: float, sensitivity: float) -> float:
@@ -44,8 +45,9 @@ def sample_truncated_laplace(
     if radius <= 0:
         raise ValueError(f"radius must be positive, got {radius}")
     generator = resolve_rng(rng)
-    uniforms = generator.uniform(size=size)
-
+    _telemetry_registry().counter(
+        "mechanism.invocations", mechanism="truncated_laplace"
+    ).add()
     def _inverse_cdf(u: np.ndarray | float) -> np.ndarray | float:
         u = np.asarray(u, dtype=float)
         # Normalising constant of exp(-|x - radius| / scale) over [0, 2·radius].
@@ -59,8 +61,10 @@ def sample_truncated_laplace(
         )
         return np.where(u <= 0.5, left, right)
 
-    samples = _inverse_cdf(uniforms)
-    samples = np.clip(samples, 0.0, 2.0 * radius)
+    with _trace("mechanism.truncated_laplace", scale=scale, radius=radius):
+        uniforms = generator.uniform(size=size)
+        samples = _inverse_cdf(uniforms)
+        samples = np.clip(samples, 0.0, 2.0 * radius)
     return float(samples) if size is None else samples
 
 

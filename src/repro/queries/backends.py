@@ -49,12 +49,19 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, ClassVar, Iterator
 
 import numpy as np
 
 from repro.queries.workload import Workload
+from repro.telemetry import (
+    NULL_SPAN as _NULL_SPAN,
+    is_enabled as _telemetry_enabled,
+    registry as _telemetry_registry,
+    trace as _trace,
+)
 
 #: Above this many dense matrix cells (``|Q|·|D|``) the dense backend is
 #: ineligible and the evaluator stops materialising the full query matrix.
@@ -115,8 +122,23 @@ def iter_decoded_chunks(
         (lo, min(lo + chunk_size, stop)) for lo in range(start, stop, chunk_size)
     ]
 
+    # Telemetry is sampled once at iterator creation: the decode thread and
+    # the consumer then write to *distinct* instruments (decode timings on
+    # the producer, queue depth on the consumer), so recording never needs a
+    # lock on the scan hot path.
+    recording = _telemetry_enabled()
+    if recording:
+        _decode_count = _telemetry_registry().counter("chunks.decoded")
+        _decode_seconds = _telemetry_registry().distribution("chunks.decode_seconds")
+
     def decode(lo: int, hi: int) -> tuple[int, int, tuple[np.ndarray, ...]]:
-        return (lo, hi, np.unravel_index(np.arange(lo, hi, dtype=np.int64), shape))
+        if not recording:
+            return (lo, hi, np.unravel_index(np.arange(lo, hi, dtype=np.int64), shape))
+        began = time.perf_counter_ns()
+        multi = np.unravel_index(np.arange(lo, hi, dtype=np.int64), shape)
+        _decode_seconds.observe((time.perf_counter_ns() - began) / 1e9)
+        _decode_count.add()
+        return (lo, hi, multi)
 
     if prefetch <= 0 or len(bounds) <= 1:
         for lo, hi in bounds:
@@ -147,8 +169,15 @@ def iter_decoded_chunks(
 
     thread = threading.Thread(target=produce, name="repro-chunk-decode", daemon=True)
     thread.start()
+    if recording:
+        _queue_depth = _telemetry_registry().distribution("prefetch.queue_depth")
     try:
         while True:
+            if recording:
+                # How far ahead the decode thread is running each time the
+                # consumer comes back for a chunk: 0 = decode-bound,
+                # `prefetch` = compute-bound.
+                _queue_depth.observe(float(slots.qsize()))
             item = slots.get()
             if item is _DECODE_DONE:
                 break
@@ -184,6 +213,14 @@ class EvaluatorConfig:
     ``engine`` selects the kernel engine of engine-aware backends (the
     vectorised backend's ``"jax"``/``"numpy"``; ``None`` = auto-detect).
     Backends without interchangeable kernels ignore it.
+
+    ``telemetry`` scopes this evaluator's instrumentation: ``None`` (the
+    default) follows the process-global switch
+    (:func:`repro.telemetry.configure`), ``False`` forces this evaluator's
+    recording off even while the global switch is on (useful to keep a
+    baseline evaluator out of a measurement), and ``True`` documents an
+    opt-in — recording still requires the global switch, since metrics land
+    in the global registry.
     """
 
     cell_budget: int = _MATRIX_CELL_BUDGET
@@ -191,6 +228,7 @@ class EvaluatorConfig:
     chunk_size: int = _DEFAULT_CHUNK_SIZE
     workers: int = 1
     engine: str | None = None
+    telemetry: bool | None = None
 
 
 class EvaluatorContext:
@@ -220,6 +258,16 @@ class EvaluatorContext:
     @property
     def num_queries(self) -> int:
         return len(self.workload)
+
+    def telemetry_enabled(self) -> bool:
+        """Whether this evaluator's instrumentation should record.
+
+        True only when the process-global telemetry switch is on *and* the
+        config does not force it off (``telemetry=False``).
+        """
+        if self.config.telemetry is False:
+            return False
+        return _telemetry_enabled()
 
     def validated_flat(self, histogram: np.ndarray) -> np.ndarray:
         """``histogram`` as a flat float64 vector, or raise on a size mismatch.
@@ -786,6 +834,20 @@ def _availability(cls: type[EvaluationBackend]) -> tuple[bool, str]:
         return False, f"availability probe raised {type(error).__name__}: {error}"
 
 
+def _skip_reason(cls: type[EvaluationBackend], context: EvaluatorContext) -> str:
+    """Why an available-but-ineligible backend was passed over.
+
+    Surfaces :attr:`BackendCost.reason` from the backend's own cost entry;
+    only called while telemetry records, so the full cost measurement never
+    runs on an uninstrumented choice.
+    """
+    try:
+        reason = cls.estimate_cost(context).reason
+    except Exception as error:  # noqa: BLE001  (diagnostics must not abort the choice)
+        return f"estimate_cost raised {type(error).__name__}: {error}"
+    return reason or "ineligible for this workload"
+
+
 def choose_backend(context: EvaluatorContext) -> str:
     """The cost model's pick: the fastest available and eligible backend.
 
@@ -793,10 +855,40 @@ def choose_backend(context: EvaluatorContext) -> str:
     measurements (the sparse support count) only run when every faster
     backend has already been ruled out.  Unavailable backends — probe
     returns ``False`` or raises — are skipped without aborting the choice.
+
+    Telemetry: while recording, the decision becomes an
+    ``evaluator.choose_backend`` span whose attributes name the chosen
+    backend and the reason each faster backend was skipped
+    (:attr:`BackendCost.reason`), and counts on
+    ``evaluator.backend_choice{backend=<name>}``.
     """
-    for cls in _ranked_backends():
-        if _availability(cls)[0] and cls.is_eligible(context):
-            return cls.name
+    recording = context.telemetry_enabled()
+    span_ctx = (
+        _trace(
+            "evaluator.choose_backend",
+            queries=context.num_queries,
+            domain=context.domain_size,
+        )
+        if recording
+        else _NULL_SPAN
+    )
+    with span_ctx as span:
+        skipped: list[str] = []
+        for cls in _ranked_backends():
+            available, unavailable_reason = _availability(cls)
+            if not available:
+                if recording:
+                    skipped.append(f"{cls.name}: {unavailable_reason}")
+                continue
+            if cls.is_eligible(context):
+                if recording:
+                    span.set(chosen=cls.name, skipped=skipped)
+                    _telemetry_registry().counter(
+                        "evaluator.backend_choice", backend=cls.name
+                    ).add()
+                return cls.name
+            if recording:
+                skipped.append(f"{cls.name}: {_skip_reason(cls, context)}")
     raise RuntimeError(
         "no registered evaluation backend is eligible; registered backends: "
         f"{registered_backends()}"

@@ -110,6 +110,7 @@ from repro.queries.backends import (
 from repro.queries.vectorized import ENGINES, resolve_engine
 from repro.queries.workload import Workload
 from repro.relational.instance import Instance
+from repro.telemetry import registry as _telemetry_registry
 
 # Importing the modules registers the sharded and vectorised backends.
 import repro.queries.sharded  # noqa: F401  (registration side effect)
@@ -223,6 +224,11 @@ class WorkloadEvaluator:
         when importable), and any non-``None`` value opts the sharded
         backend's workers into fused per-shard CSR kernels.  Backends
         without interchangeable kernels ignore it.
+    telemetry:
+        Per-evaluator instrumentation scope: ``None`` follows the global
+        :func:`repro.telemetry.configure` switch, ``False`` keeps this
+        evaluator silent even while the global switch is on, ``True``
+        documents an opt-in (recording still requires the global switch).
     """
 
     def __init__(
@@ -237,6 +243,7 @@ class WorkloadEvaluator:
         chunk_size: int = _DEFAULT_CHUNK_SIZE,
         workers: int | None = None,
         engine: str | None = None,
+        telemetry: bool | None = None,
     ):
         if engine is not None and engine not in ENGINES:
             raise ValueError(
@@ -274,6 +281,7 @@ class WorkloadEvaluator:
                 chunk_size=int(chunk_size),
                 workers=int(workers),
                 engine=engine,
+                telemetry=telemetry,
             ),
         )
         self._backend: EvaluationBackend | None = None
@@ -382,8 +390,17 @@ class WorkloadEvaluator:
         return self._context.validated_flat(histogram)
 
     def answers_on_histogram(self, histogram: np.ndarray) -> np.ndarray:
-        """Answers ``q(F)`` for every query against a joint-domain histogram."""
-        return self._resolve_backend().answers_on_histogram(self._validated_flat(histogram))
+        """Answers ``q(F)`` for every query against a joint-domain histogram.
+
+        Telemetry: while recording, each evaluation is timed into the
+        ``evaluator.eval_seconds{backend=<name>}`` distribution.
+        """
+        backend = self._resolve_backend()
+        flat = self._validated_flat(histogram)
+        if not self._context.telemetry_enabled():
+            return backend.answers_on_histogram(flat)
+        with _telemetry_registry().timer("evaluator.eval_seconds", backend=backend.name):
+            return backend.answers_on_histogram(flat)
 
     def histogram_session(
         self,
@@ -546,6 +563,11 @@ def shared_evaluator(
     key = (name, int(workers), canonical_engine)
     cache = workload.private_cache("shared_evaluators")
     evaluator = cache.get(key)
+    _telemetry_registry().counter(
+        "workload.cache",
+        bucket="shared_evaluators",
+        event="hit" if evaluator is not None else "miss",
+    ).add()
     if evaluator is None:
         evaluator = WorkloadEvaluator(workload, mode=name, workers=workers, engine=engine)
         cache[key] = evaluator

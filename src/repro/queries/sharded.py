@@ -48,6 +48,17 @@ once per worker through the pool initializer.  Pool and shared memory
 (one segment, or one per domain slice) are torn down by ``close()`` or,
 failing that, a ``weakref.finalize`` when the backend is
 garbage-collected.
+
+**Telemetry.**  While the parent records
+(:func:`repro.telemetry.configure`), each pool worker is handed a flush
+queue through the pool initializer and records into its *own* per-process
+registry (task counts, per-shard evaluation seconds, mapped shared-memory
+bytes, chunk-decode timings from the scan iterator).  A
+``multiprocessing.util.Finalize`` hook — pool workers exit through
+``os._exit`` and skip ``atexit`` — flushes each worker's snapshot onto the
+queue at worker shutdown; :func:`_shutdown` drains the queue after the pool
+joins and merges every snapshot into the parent registry under a
+``worker=<pid>`` label, so per-worker stats survive the pool.
 """
 
 from __future__ import annotations
@@ -71,6 +82,15 @@ from repro.queries.backends import (
     register_backend,
     streaming_scratch_bytes,
 )
+from repro.telemetry import (
+    is_enabled as _telemetry_enabled,
+    registry as _telemetry_registry,
+)
+from repro.telemetry.workers import (
+    create_flush_queue,
+    drain_flush_queue,
+    init_worker_telemetry,
+)
 
 #: Per-process table of worker states, keyed by backend instance key.  In
 #: the parent it holds the authoritative state; ``fork`` workers inherit it
@@ -81,7 +101,10 @@ _BACKEND_KEYS = itertools.count(1)
 
 
 def _init_worker(
-    key: int, segments: tuple[tuple[str, int], ...], payload: dict | None
+    key: int,
+    segments: tuple[tuple[str, int], ...],
+    payload: dict | None,
+    telemetry_init: tuple[bool, object] | None = None,
 ) -> None:
     """Pool initializer: attach the shared histogram segments (spawn only).
 
@@ -89,7 +112,19 @@ def _init_worker(
     under ``spawn`` the pickled shard data arrives here and every segment —
     the single shared histogram, or one per domain slice — is re-attached
     by its shared-memory ``(name, length)``.
+
+    ``telemetry_init`` is ``(enabled, flush queue)`` from the parent.  The
+    worker's telemetry is initialised *before* the fork early-return: a
+    ``fork`` worker inherits the parent's populated registry copy-on-write,
+    so it must be reset to a fresh one (or disabled outright) either way —
+    otherwise the parent's own counts would be merged back in twice.
     """
+    enabled, flush_queue = telemetry_init if telemetry_init is not None else (False, None)
+    init_worker_telemetry(
+        enabled,
+        flush_queue,
+        shm_bytes=sum(8 * length for _name, length in segments),
+    )
     if payload is None:
         return
     views = []
@@ -138,7 +173,22 @@ def _scan_range(
 
 
 def _eval_shard(key: int, shard_id: int) -> np.ndarray:
-    """Partial answer vector of one shard against the shared histogram(s)."""
+    """Partial answer vector of one shard against the shared histogram(s).
+
+    Telemetry: while the worker records (see :func:`_init_worker`), every
+    task counts on ``worker.tasks`` and times into ``worker.eval_seconds``
+    — per-process instruments that reach the parent under a
+    ``worker=<pid>`` label when the pool shuts down.
+    """
+    if _telemetry_enabled():
+        registry = _telemetry_registry()
+        registry.counter("worker.tasks").add()
+        with registry.timer("worker.eval_seconds"):
+            return _eval_shard_impl(key, shard_id)
+    return _eval_shard_impl(key, shard_id)
+
+
+def _eval_shard_impl(key: int, shard_id: int) -> np.ndarray:
     state = _WORKER_STATES[key]
     num_queries = state["num_queries"]
     strategy = state["strategy"]
@@ -177,13 +227,27 @@ def _eval_shard(key: int, shard_id: int) -> np.ndarray:
 
 
 def _shutdown(
-    executor: ProcessPoolExecutor, shms: list[shared_memory.SharedMemory], key: int
+    executor: ProcessPoolExecutor,
+    shms: list[shared_memory.SharedMemory],
+    key: int,
+    telemetry_queue=None,
 ) -> None:
-    """Tear down one backend's pool, state entry, and shared-memory segments."""
+    """Tear down one backend's pool, state entry, and shared-memory segments.
+
+    With a ``telemetry_queue``, the workers' flushed snapshots are drained
+    *after* the pool joins (every worker's exit hook has run by then) and
+    merged into the parent registry under per-pid ``worker`` labels.
+    """
     try:
         executor.shutdown(wait=True, cancel_futures=True)
     except Exception:
         pass
+    if telemetry_queue is not None:
+        drain_flush_queue(telemetry_queue, label="worker")
+        try:
+            telemetry_queue.close()
+        except Exception:
+            pass
     _WORKER_STATES.pop(key, None)
     for shm in shms:
         try:
@@ -377,11 +441,24 @@ class ShardedBackend(SparseBackend):
                 if use_fork
                 else {name: value for name, value in state.items() if name != "histograms"}
             )
+            mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
+            telemetry_queue = None
+            telemetry_init = None
+            if context.telemetry_enabled():
+                # The flush queue travels through initargs — the sanctioned
+                # inheritance channel under both fork and spawn.
+                telemetry_queue = create_flush_queue(mp_context)
+                telemetry_init = (True, telemetry_queue)
             executor = ProcessPoolExecutor(
                 max_workers=self._workers,
-                mp_context=multiprocessing.get_context("fork" if use_fork else "spawn"),
+                mp_context=mp_context,
                 initializer=_init_worker,
-                initargs=(key, ((shm.name, context.domain_size),), payload),
+                initargs=(
+                    key,
+                    ((shm.name, context.domain_size),),
+                    payload,
+                    telemetry_init,
+                ),
             )
         except BaseException:
             # A failure between segment creation and pool start must not
@@ -403,7 +480,9 @@ class ShardedBackend(SparseBackend):
         self._view = view
         self._key = key
         self._num_shards = num_shards
-        self._finalizer = weakref.finalize(self, _shutdown, executor, [shm], key)
+        self._finalizer = weakref.finalize(
+            self, _shutdown, executor, [shm], key, telemetry_queue
+        )
 
     def _histogram_view(self) -> np.ndarray:
         self._start()
@@ -413,6 +492,10 @@ class ShardedBackend(SparseBackend):
     def _dispatch(self) -> np.ndarray:
         """One parallel evaluation of the current shared-histogram contents."""
         assert self._executor is not None and self._key is not None
+        if self._context.telemetry_enabled():
+            _telemetry_registry().counter(
+                "sharded.dispatches", backend=self.name
+            ).add()
         futures = [
             self._executor.submit(_eval_shard, self._key, shard_id)
             for shard_id in range(self._num_shards)
@@ -710,9 +793,15 @@ class DomainShardedBackend(ShardedBackend):
                 if use_fork
                 else {name: value for name, value in state.items() if name != "histograms"}
             )
+            mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
+            telemetry_queue = None
+            telemetry_init = None
+            if self._context.telemetry_enabled():
+                telemetry_queue = create_flush_queue(mp_context)
+                telemetry_init = (True, telemetry_queue)
             executor = ProcessPoolExecutor(
                 max_workers=self._workers,
-                mp_context=multiprocessing.get_context("fork" if use_fork else "spawn"),
+                mp_context=mp_context,
                 initializer=_init_worker,
                 initargs=(
                     key,
@@ -720,6 +809,7 @@ class DomainShardedBackend(ShardedBackend):
                         (shm.name, hi - lo) for shm, (lo, hi) in zip(shms, slices)
                     ),
                     payload,
+                    telemetry_init,
                 ),
             )
         except BaseException:
@@ -745,7 +835,9 @@ class DomainShardedBackend(ShardedBackend):
         self._slices = slices
         self._key = key
         self._num_shards = len(slices)
-        self._finalizer = weakref.finalize(self, _shutdown, executor, shms, key)
+        self._finalizer = weakref.finalize(
+            self, _shutdown, executor, shms, key, telemetry_queue
+        )
 
     def _slice_views(self) -> list[tuple[int, int, np.ndarray]]:
         """The ``(lo, hi, segment view)`` of every owned domain slice."""

@@ -48,6 +48,8 @@ backend's workers, which use it for their local row slice when an
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.queries.backends import (
@@ -57,6 +59,12 @@ from repro.queries.backends import (
     HistogramSession,
     SparseBackend,
     register_backend,
+)
+from repro.telemetry import (
+    NULL_SPAN as _NULL_SPAN,
+    is_enabled as _telemetry_enabled,
+    registry as _telemetry_registry,
+    trace as _trace,
 )
 
 #: The engine names ``EvaluatorConfig.engine`` accepts (besides ``None``).
@@ -343,14 +351,38 @@ class JaxKernel:
             )
 
         self._batched_answers = batched_answers
+        self._first_call_done = False
+
+    def _call(self, flat):
+        """Invoke the jitted kernel, timing the compiling first call.
+
+        JAX traces and compiles on the first invocation; while telemetry
+        records, that one-off cost lands in the
+        ``vector.jax_first_call_seconds`` distribution (blocked until ready
+        so the measurement covers the compile, not just the dispatch).
+        """
+        if self._first_call_done or not _telemetry_enabled():
+            self._first_call_done = True
+            return self._batched_answers(flat)
+        self._first_call_done = True
+        began = time.perf_counter_ns()
+        result = self._batched_answers(flat)
+        try:
+            result.block_until_ready()
+        except AttributeError:
+            pass
+        _telemetry_registry().distribution("vector.jax_first_call_seconds").observe(
+            (time.perf_counter_ns() - began) / 1e9
+        )
+        return result
 
     def answers_on_device(self, flat):
         """Answers as a device array, for callers holding a device histogram."""
-        return self._batched_answers(flat)
+        return self._call(flat)
 
     def answers(self, flat: np.ndarray) -> np.ndarray:
         return np.asarray(
-            self._batched_answers(self.jnp.asarray(flat, dtype=self.jnp.float64)),
+            self._call(self.jnp.asarray(flat, dtype=self.jnp.float64)),
             dtype=np.float64,
         )
 
@@ -568,32 +600,68 @@ class VectorizedBackend(SparseBackend):
 
     def _ensure_packed(self) -> PackedWorkload:
         if self._packed is None:
+            recording = self._context.telemetry_enabled()
             cache = self._context.workload.private_cache(_CACHE_NAME)
             packed = cache.get("packed")
             if packed is None or packed.num_queries != self._context.num_queries:
-                _row_ids, indices, values = self._ensure_csr()
-                counts = np.array(
-                    [self._supports[index][0].size for index in range(self._context.num_queries)],
-                    dtype=np.int64,
+                if recording:
+                    _telemetry_registry().counter(
+                        "workload.cache", bucket=_CACHE_NAME, event="miss"
+                    ).add()
+                span_ctx = (
+                    _trace("vector.pack", queries=self._context.num_queries)
+                    if recording
+                    else _NULL_SPAN
                 )
-                indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-                packed = PackedWorkload(indptr, indices, values)
+                with span_ctx:
+                    _row_ids, indices, values = self._ensure_csr()
+                    counts = np.array(
+                        [self._supports[index][0].size for index in range(self._context.num_queries)],
+                        dtype=np.int64,
+                    )
+                    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+                    packed = PackedWorkload(indptr, indices, values)
                 cache["packed"] = packed
             else:
+                if recording:
+                    _telemetry_registry().counter(
+                        "workload.cache", bucket=_CACHE_NAME, event="hit"
+                    ).add()
                 self._ensure_csr()  # re-point supports at the cached tensors
             self._packed = packed
+            if recording:
+                registry = _telemetry_registry()
+                registry.gauge("vector.packed_entries").set(packed.total_entries)
+                registry.gauge("vector.padded_entries").set(packed.padded_entries)
+                registry.gauge("vector.buckets").set(len(packed.bucket_spans))
+                registry.gauge("vector.waste_ratio").set(packed.waste_ratio)
         return self._packed
 
     def _ensure_kernel(self) -> NumpyKernel | JaxKernel:
         if self._kernel is None:
             packed = self._ensure_packed()
+            recording = self._context.telemetry_enabled()
             cache = self._context.workload.private_cache(_CACHE_NAME)
             key = ("kernel", self._engine)
             kernel = cache.get(key)
             if kernel is None:
-                kernel_cls = JaxKernel if self._engine == "jax" else NumpyKernel
-                kernel = kernel_cls(packed, self._context.domain_size)
+                if recording:
+                    _telemetry_registry().counter(
+                        "workload.cache", bucket=_CACHE_NAME, event="miss"
+                    ).add()
+                span_ctx = (
+                    _trace("vector.kernel_build", engine=self._engine)
+                    if recording
+                    else _NULL_SPAN
+                )
+                with span_ctx:
+                    kernel_cls = JaxKernel if self._engine == "jax" else NumpyKernel
+                    kernel = kernel_cls(packed, self._context.domain_size)
                 cache[key] = kernel
+            elif recording:
+                _telemetry_registry().counter(
+                    "workload.cache", bucket=_CACHE_NAME, event="hit"
+                ).add()
             self._kernel = kernel
         return self._kernel
 

@@ -51,12 +51,29 @@ def test_all_benchmark_scripts_execute(tmp_path):
         record_path = tmp_path / f"BENCH_{name.removeprefix('bench_')}.json"
         assert record_path.exists(), record_path
         record = json.loads(record_path.read_text())
+        assert record["schema_version"] == run_all.BENCH_SCHEMA_VERSION
         assert record["benchmark"] == name
         assert record["wall_seconds"] >= 0.0
         assert record["peak_mib"] >= 0.0
         assert isinstance(record["backend"], str) and record["backend"]
+        # Schema v2: a parseable UTC timestamp, the host facts the numbers
+        # were taken on, and the telemetry stage breakdown.
+        assert record["timestamp_utc"]
+        host = record["host"]
+        assert host["cpu_count"] >= 1 and host["effective_cpus"] >= 1
+        assert host["python"] and host["numpy"] and host["platform"]
+        assert isinstance(record["stages"], dict)
     # E16 runs the sharded backend even at smoke size (2 workers).
     e16 = json.loads(
         (tmp_path / "BENCH_e16_sharded_evaluation.json").read_text()
     )
     assert e16["backend"] == "sharded"
+    # The smoke runner records telemetry, so stage timings must be present
+    # for the PMW-driven benchmarks (each stage carries wall/CPU totals).
+    e13 = json.loads(
+        (tmp_path / "BENCH_e13_single_table_pmw.json").read_text()
+    )
+    assert "pmw.round" in e13["stages"], sorted(e13["stages"])
+    round_stage = e13["stages"]["pmw.round"]
+    assert round_stage["count"] >= 1
+    assert round_stage["wall_seconds"] >= 0.0

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Static check: ``src/repro/telemetry/`` imports the standard library only.
+
+The telemetry package is the one layer that must load in every context —
+pool workers, CI containers, minimal installs — so it may not import numpy,
+scipy, or anything else third-party.  This script AST-walks every module in
+the package and reports any import whose top-level name is neither a
+standard-library module nor the package itself (relative imports and
+``repro.telemetry`` absolute imports are the only non-stdlib names allowed).
+
+Runs standalone (the CI job calls it before installing any dependencies)::
+
+    python tests/telemetry/check_stdlib_only.py
+
+and doubles as the implementation behind the tier-1 test
+``tests/telemetry/test_stdlib_only.py``.  Exit status 0 means clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+TELEMETRY_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "telemetry"
+
+#: Import prefixes that are legal besides the standard library: the package
+#: importing from itself (``repro.telemetry.metrics``) and, lazily inside
+#: functions only, the facade module (``from repro import telemetry``).
+_ALLOWED_PREFIXES = ("repro.telemetry",)
+_ALLOWED_EXACT = {"repro"}
+
+
+def _imported_names(tree: ast.AST):
+    """Yield ``(lineno, top_level_name, full_name)`` for every import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name.partition(".")[0], alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import — inside the package by definition
+                continue
+            module = node.module or ""
+            if module in _ALLOWED_EXACT:
+                # ``from repro import X`` is only legal for the facade itself.
+                for alias in node.names:
+                    full = f"{module}.{alias.name}"
+                    yield node.lineno, module, full
+            else:
+                yield node.lineno, module.partition(".")[0], module
+
+
+def violations() -> list[str]:
+    """Every non-stdlib import in the telemetry package, as ``file:line`` strings."""
+    stdlib = sys.stdlib_module_names
+    found: list[str] = []
+    for path in sorted(TELEMETRY_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for lineno, top, full in _imported_names(tree):
+            if top in stdlib:
+                continue
+            if full in _ALLOWED_EXACT or full.startswith(_ALLOWED_PREFIXES):
+                continue
+            found.append(f"{path.name}:{lineno}: non-stdlib import '{full}'")
+    return found
+
+
+def main() -> int:
+    if not TELEMETRY_DIR.is_dir():
+        print(f"missing package directory: {TELEMETRY_DIR}", file=sys.stderr)
+        return 2
+    found = violations()
+    for line in found:
+        print(line, file=sys.stderr)
+    if found:
+        print(f"{len(found)} non-stdlib import(s) in repro.telemetry", file=sys.stderr)
+        return 1
+    print("repro.telemetry imports stdlib only")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

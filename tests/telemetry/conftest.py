@@ -1,0 +1,20 @@
+"""Telemetry tests flip the process-wide switch; always restore it.
+
+Every test in this directory runs with whatever telemetry state it sets up,
+then the fixture forces the module back to the disabled default so the rest
+of the suite (which asserts instrumented code paths are no-ops by default)
+is never polluted by ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_disabled_after():
+    telemetry.disable()
+    yield
+    telemetry.disable()

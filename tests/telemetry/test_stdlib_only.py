@@ -1,0 +1,34 @@
+"""Tier-1 enforcement of the telemetry package's stdlib-only contract.
+
+The same AST walk runs standalone in CI (``check_stdlib_only.py``) before
+any dependencies are installed; this test keeps the invariant inside the
+default test collection so a stray ``import numpy`` fails locally too.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_CHECKER = Path(__file__).resolve().parent / "check_stdlib_only.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_stdlib_only", _CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_telemetry_package_imports_stdlib_only():
+    checker = _load_checker()
+    assert checker.TELEMETRY_DIR.is_dir()
+    assert checker.violations() == []
+
+
+def test_checker_sees_every_module():
+    # The walk must actually cover the package (guards against a path typo
+    # silently turning the check into a no-op).
+    checker = _load_checker()
+    modules = {path.name for path in checker.TELEMETRY_DIR.glob("*.py")}
+    assert {"__init__.py", "metrics.py", "spans.py", "workers.py"} <= modules
