@@ -15,3 +15,15 @@ def test_e14_privacy_audit(benchmark):
     # The empirical privacy-loss estimate stays in the vicinity of the declared
     # ε (the histogram estimator over-estimates, so allow a small constant).
     assert result["empirical_epsilon"] <= 3.0 * result["declared_epsilon"] + 0.5
+    # Accounting audit: the run already called ledger.assert_within(budget)
+    # internally (it raises BudgetExceededError on overspend); here we check
+    # the odometer arithmetic is coherent — something was charged, the spend
+    # stayed within the declared 2·trials·(ε, δ) budget, and remaining() is
+    # the exact complement, clamped at zero.
+    assert result["ledger_charges"] >= 2 * result["trials"]
+    assert 0.0 < result["spent_epsilon"] <= result["budget_epsilon"]
+    assert result["remaining_epsilon"] >= 0.0
+    assert result["remaining_epsilon"] == max(
+        0.0, result["budget_epsilon"] - result["spent_epsilon"]
+    )
+    assert not result["budget_exhausted"]

@@ -1,0 +1,73 @@
+"""E20 benchmark — the observability layer's three contracts, asserted.
+
+1. Replaying the hash-chained audit journal reproduces the live
+   ``PrivacyLedger`` total bitwise, and every tamper scenario (edited,
+   deleted, swapped, diverged) is rejected with its distinct error.
+2. Concurrent scrapes of the live exporter mid-PMW-run always parse as
+   Prometheus text exposition and report monotone, within-budget spend.
+3. End-to-end overhead with journal + exporter enabled stays under 5%
+   (plus an absolute jitter allowance — the E13-size run takes ~10ms,
+   where one scheduler hiccup dwarfs any instrumentation cost), and the
+   PMW selections are bitwise identical with observability on or off.
+"""
+
+from repro.experiments.e20_observability import run
+
+# Mirrors tests/telemetry/test_overhead.py: 5% relative, 50ms absolute floor.
+_RELATIVE_SLACK = 0.05
+_ABSOLUTE_SLACK_SECONDS = 0.050
+
+
+def test_e20_observability(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={
+            "n": 60,
+            "domain_shape": {"X": 6, "Y": 6},
+            "num_queries": 8,
+            "pmw_rounds": 6,
+            "releases": 4,
+            "overhead_repeats": 5,
+            "scrape_threads": 2,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"])
+
+    # Contract 1: audit fidelity.
+    assert result["journal_matches_ledger"], (
+        result["replayed_epsilon"],
+        result["ledger_epsilon"],
+    )
+    assert result["replayed_epsilon"] == result["ledger_epsilon"]
+    assert result["replayed_delta"] == result["ledger_delta"]
+    assert result["tamper_detection"] == {
+        "edited": "tampered",
+        "deleted": "gap",
+        "swapped": "reordered",
+        "diverged": "divergence",
+    }
+
+    # Contract 2: consistent live scrapes.
+    assert result["scrapes"]["metrics"] >= 1
+    assert result["scrapes"]["parse_failures"] == 0
+    assert result["scrapes"]["budget_failures"] == 0
+    assert not result["scrapes"]["errors"], result["scrapes"]["errors"]
+    assert result["span_events"] >= 1
+
+    # Contract 3: observability is invisible.
+    assert result["selections_identical"]
+    allowance = (
+        result["baseline_wall_seconds"] * _RELATIVE_SLACK + _ABSOLUTE_SLACK_SECONDS
+    )
+    assert (
+        result["observed_wall_seconds"]
+        <= result["baseline_wall_seconds"] + allowance
+    ), (
+        f"observability overhead {result['overhead_pct']:.1f}% "
+        f"({result['observed_wall_seconds']:.4f}s vs "
+        f"{result['baseline_wall_seconds']:.4f}s baseline)"
+    )

@@ -20,6 +20,11 @@ script it
    info, and the per-stage wall/CPU timing breakdown from the run's tracing
    spans) so the performance trajectory can be tracked across PRs.
 
+The CLI runs every benchmark even when some fail, reports each failure, and
+exits non-zero if any smoke run failed or a record could not be written.
+``--compare`` chains the ``benchmarks/compare.py`` regression gate (fresh
+records vs the committed repo-root baseline) onto a clean sweep.
+
 The test suite wires this in behind the opt-in ``bench_smoke`` marker
 (``pytest --bench-smoke``), see ``tests/benchmarks/test_bench_smoke.py``.
 """
@@ -180,6 +185,19 @@ SMOKE_RUNS: dict[str, tuple] = {
             seed=0,
         ),
     ),
+    "bench_e20_observability": (
+        EXPERIMENTS["e20"],
+        dict(
+            n=40,
+            domain_shape={"X": 5, "Y": 5},
+            num_queries=6,
+            pmw_rounds=3,
+            releases=2,
+            overhead_repeats=1,
+            scrape_threads=1,
+            seed=0,
+        ),
+    ),
 }
 
 
@@ -256,6 +274,44 @@ def write_bench_record(name: str, result: dict, wall_seconds: float, peak_mib: f
     return path
 
 
+def _execute_benchmark(
+    name: str, runner, kwargs: dict, json_dir: Path | None
+) -> dict:
+    """Run one benchmark's experiment at smoke size and record its numbers.
+
+    Checks the script still defines a ``test_*`` entry point, resets the
+    telemetry registry so the record's stage breakdown covers exactly this
+    run, and (unless ``json_dir`` is ``None``) writes the ``BENCH_<id>.json``
+    record.  Raises on any contract violation — callers decide whether that
+    aborts the sweep (:func:`iter_smoke_results`) or is collected and
+    reported at the end (:func:`main`).
+    """
+    module = _load_bench_module(name)
+    entry_points = [attr for attr in dir(module) if attr.startswith("test_")]
+    if not entry_points:
+        raise AssertionError(f"{name}.py defines no test_* entry point")
+    telemetry.reset()
+    tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        result = runner(**kwargs)
+        wall_seconds = time.perf_counter() - start
+        # Experiments that profile memory themselves (e.g. E15) stop the
+        # global tracer mid-run; their records then report a 0 peak and the
+        # per-mode peaks live in the experiment's own rows instead.
+        peak_mib = (
+            tracemalloc.get_traced_memory()[1] / 2**20 if tracemalloc.is_tracing() else 0.0
+        )
+    finally:
+        if tracemalloc.is_tracing():
+            tracemalloc.stop()
+    if not isinstance(result, dict) or "table" not in result:
+        raise AssertionError(f"{name}: experiment result lost its 'table' contract")
+    if json_dir is not None:
+        write_bench_record(name, result, wall_seconds, peak_mib, json_dir)
+    return result
+
+
 def iter_smoke_results(json_dir: Path | None = _RESULTS_DIR) -> Iterator[tuple[str, dict]]:
     """Execute every benchmark's experiment at smoke size, yielding results.
 
@@ -263,34 +319,16 @@ def iter_smoke_results(json_dir: Path | None = _RESULTS_DIR) -> Iterator[tuple[s
     is reset per benchmark, so every record's stage breakdown covers exactly
     its own run); unless ``json_dir`` is ``None`` a ``BENCH_<id>.json``
     record is written per benchmark.  Telemetry is restored to disabled on
-    the way out, even on failure.
+    the way out, even on failure.  The first failing benchmark raises — the
+    CLI entry point (:func:`main`) instead runs every benchmark and reports
+    all failures at the end.
     """
     check_coverage()
     telemetry_was_enabled = telemetry.is_enabled()
     telemetry.configure(enabled=True)
     try:
         for name, (runner, kwargs) in sorted(SMOKE_RUNS.items()):
-            module = _load_bench_module(name)
-            entry_points = [attr for attr in dir(module) if attr.startswith("test_")]
-            if not entry_points:
-                raise AssertionError(f"{name}.py defines no test_* entry point")
-            telemetry.reset()
-            tracemalloc.start()
-            start = time.perf_counter()
-            result = runner(**kwargs)
-            wall_seconds = time.perf_counter() - start
-            # Experiments that profile memory themselves (e.g. E15) stop the
-            # global tracer mid-run; their records then report a 0 peak and the
-            # per-mode peaks live in the experiment's own rows instead.
-            peak_mib = (
-                tracemalloc.get_traced_memory()[1] / 2**20 if tracemalloc.is_tracing() else 0.0
-            )
-            tracemalloc.stop()
-            if not isinstance(result, dict) or "table" not in result:
-                raise AssertionError(f"{name}: experiment result lost its 'table' contract")
-            if json_dir is not None:
-                write_bench_record(name, result, wall_seconds, peak_mib, json_dir)
-            yield name, result
+            yield name, _execute_benchmark(name, runner, kwargs, json_dir)
     finally:
         if not telemetry_was_enabled:
             telemetry.disable()
@@ -308,6 +346,16 @@ def copy_records_to_root(json_dir: Path, root: Path | None = None) -> list[Path]
     for record in sorted(json_dir.glob("BENCH_*.json")):
         copies.append(Path(shutil.copy2(record, root / record.name)))
     return copies
+
+
+def _load_compare_module():
+    spec = importlib.util.spec_from_file_location("compare", _BENCH_DIR / "compare.py")
+    module = importlib.util.module_from_spec(spec)
+    # Dataclass field resolution looks the module up by name at
+    # class-creation time, so it must be registered before exec.
+    sys.modules["compare"] = module
+    spec.loader.exec_module(module)
+    return module
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -331,13 +379,47 @@ def main(argv: list[str] | None = None) -> int:
         help="pin the vector-backend kernel engine for the E19 smoke run "
         "(default: the always-available numpy engine)",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="after the sweep, run the benchmarks/compare.py regression gate: "
+        "fresh records vs the committed repo-root baseline (gate failure "
+        "fails this run)",
+    )
     args = parser.parse_args(argv)
     if args.engine is not None:
         SMOKE_RUNS["bench_e19_vectorized_evaluation"][1]["engine"] = args.engine
-    for name, _result in iter_smoke_results(json_dir=args.results_dir):
-        print(f"{name}: ok")
-    print(f"{len(SMOKE_RUNS)} benchmark scripts executed")
+
+    check_coverage()
+    failures: list[str] = []
+    telemetry_was_enabled = telemetry.is_enabled()
+    telemetry.configure(enabled=True)
+    try:
+        for name, (runner, kwargs) in sorted(SMOKE_RUNS.items()):
+            try:
+                _execute_benchmark(name, runner, kwargs, args.results_dir)
+            except Exception as exc:  # report every failure, then exit 1
+                failures.append(name)
+                print(f"{name}: FAILED — {type(exc).__name__}: {exc}", file=sys.stderr)
+            else:
+                print(f"{name}: ok")
+    finally:
+        if not telemetry_was_enabled:
+            telemetry.disable()
+
+    print(f"{len(SMOKE_RUNS) - len(failures)}/{len(SMOKE_RUNS)} benchmark scripts ok")
     print(f"performance records written to {args.results_dir}/BENCH_<id>.json")
+    if failures:
+        print(f"failed benchmarks: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if args.compare:
+        # Gate before the root copy: copying first would overwrite the
+        # committed baseline with the candidate and the diff would be empty.
+        compare = _load_compare_module()
+        gate = compare.main(["--candidate", str(args.results_dir)])
+        if gate != 0:
+            print("regression gate failed", file=sys.stderr)
+            return 1
     if not args.no_root_copy:
         copies = copy_records_to_root(args.results_dir)
         print(f"{len(copies)} records copied to {_BENCH_DIR.parent}/BENCH_<id>.json")

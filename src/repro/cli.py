@@ -26,6 +26,21 @@ printed after each experiment.  ``--trace-out PATH`` (implies
 ``--telemetry``) additionally exports the recorded tracing spans as a
 Chrome-trace file — load it at ``chrome://tracing`` or
 https://ui.perfetto.dev to see the nested span timeline.
+
+``--metrics-port PORT`` (implies ``--telemetry``) starts the live scrape
+exporter (``repro.telemetry.exporter``) for the duration of the run:
+``/metrics`` serves Prometheus text exposition, ``/healthz`` liveness,
+``/budget`` the per-ledger privacy spend, ``/spans`` the Chrome trace.
+Port 0 picks a free ephemeral port (printed on stderr).  ``--serve-after
+SECONDS`` keeps the exporter up after the run finishes so an external
+scraper (or a CI curl) can collect the final state.
+
+``--audit-out PATH`` (implies ``--telemetry``) installs an ambient
+:class:`~repro.mechanisms.ledger.PrivacyLedger` charged by every PMW
+release in the run and streams each charge into a hash-chained audit
+journal (``repro.telemetry.audit``) at PATH.  After the run the journal
+is verified — replayed, chain-checked, and cross-checked against the
+live ledger — and a one-line summary is printed.
 """
 
 from __future__ import annotations
@@ -143,12 +158,59 @@ def main(argv: list[str] | None = None) -> int:
             help="write the recorded tracing spans as a Chrome-trace JSON "
             "file (chrome://tracing / ui.perfetto.dev); implies --telemetry",
         )
+        sub.add_argument(
+            "--metrics-port",
+            metavar="PORT",
+            type=int,
+            default=None,
+            help="serve live /metrics, /healthz, /budget and /spans endpoints "
+            "on 127.0.0.1:PORT for the duration of the run (0 = ephemeral "
+            "port, printed on stderr); implies --telemetry",
+        )
+        sub.add_argument(
+            "--audit-out",
+            metavar="PATH",
+            default=None,
+            help="stream every privacy charge of the run into a hash-chained "
+            "audit journal at PATH and verify it after the run; implies "
+            "--telemetry",
+        )
+        sub.add_argument(
+            "--serve-after",
+            metavar="SECONDS",
+            type=float,
+            default=0.0,
+            help="keep the --metrics-port exporter serving this long after "
+            "the run finishes (e.g. for a CI scrape of the final state)",
+        )
 
     args = parser.parse_args(argv)
+    exporter = None
+    journal = None
+    ledger = None
     if args.command in ("run", "demo"):
         set_default_backend(args.evaluator_backend, args.workers)
-        if args.telemetry or args.trace_out is not None:
+        observability = args.metrics_port is not None or args.audit_out is not None
+        if args.telemetry or args.trace_out is not None or observability:
             telemetry.configure(enabled=True)
+        if observability:
+            from repro.mechanisms.ledger import PrivacyLedger, set_ambient_ledger
+
+            ledger = PrivacyLedger()
+            telemetry.observe_ledger(ledger)
+            set_ambient_ledger(ledger)
+        if args.audit_out is not None:
+            from repro.telemetry.audit import AuditJournal
+
+            journal = AuditJournal(args.audit_out, tenant="cli")
+            journal.attach(ledger)
+        if args.metrics_port is not None:
+            from repro.telemetry.exporter import TelemetryExporter
+
+            exporter = TelemetryExporter(port=args.metrics_port)
+            exporter.register_ledger("cli", ledger)
+            exporter.start()
+            print(f"[metrics exporter listening on {exporter.url()}]", file=sys.stderr)
     if args.command == "list":
         return _cmd_list()
     try:
@@ -165,9 +227,29 @@ def main(argv: list[str] | None = None) -> int:
                 )
             return status
     finally:
-        if args.command in ("run", "demo") and args.trace_out is not None:
-            telemetry.export_chrome_trace(args.trace_out)
-            print(f"[chrome trace written to {args.trace_out}]", file=sys.stderr)
+        if args.command in ("run", "demo"):
+            if args.trace_out is not None:
+                telemetry.export_chrome_trace(args.trace_out)
+                print(f"[chrome trace written to {args.trace_out}]", file=sys.stderr)
+            if exporter is not None and args.serve_after > 0:
+                print(
+                    f"[serving {exporter.url()} for another {args.serve_after:g}s]",
+                    file=sys.stderr,
+                )
+                time.sleep(args.serve_after)
+            if exporter is not None:
+                exporter.stop()
+            if journal is not None:
+                journal.close()
+                from repro.telemetry.audit import verify_audit_journal
+
+                report = verify_audit_journal(args.audit_out, ledger=ledger)
+                print(
+                    f"[audit journal verified: {report.records} record(s), "
+                    f"composed spend ε={report.epsilon}, δ={report.delta}, "
+                    f"matches the live ledger — {args.audit_out}]",
+                    file=sys.stderr,
+                )
     return 2
 
 

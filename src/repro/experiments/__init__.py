@@ -1,6 +1,6 @@
 """The experiment harness: one module per reproduced paper artefact.
 
-Every experiment ``E1 ... E19`` of DESIGN.md's per-experiment index lives in
+Every experiment ``E1 ... E20`` of DESIGN.md's per-experiment index lives in
 its own module with a ``run(...)`` function returning a dictionary that always
 contains a ``"table"`` entry (an :class:`repro.analysis.reporting.ExperimentTable`)
 plus experiment-specific raw values that the benchmark suite asserts on.  The
@@ -37,6 +37,7 @@ from repro.experiments import (
     e17_streaming_prefetch,
     e18_domain_partitioned,
     e19_vectorized_evaluation,
+    e20_observability,
 )
 
 def _instrumented(name: str, runner):
@@ -84,6 +85,7 @@ _RUNNERS = {
     "e17": e17_streaming_prefetch.run,
     "e18": e18_domain_partitioned.run,
     "e19": e19_vectorized_evaluation.run,
+    "e20": e20_observability.run,
 }
 
 EXPERIMENTS = {name: _instrumented(name, runner) for name, runner in _RUNNERS.items()}
@@ -108,6 +110,7 @@ DESCRIPTIONS = {
     "e17": "Pipelined streaming evaluation — async chunk prefetch with bitwise parity",
     "e18": "Domain-partitioned histograms — per-slice shared memory, no |D| allocation",
     "e19": "Vectorised batch kernels — fused whole-workload evaluation, JAX jit or NumPy",
+    "e20": "Observability — hash-chained audit journal, live scrape endpoints, overhead",
 }
 
 __all__ = ["EXPERIMENTS", "DESCRIPTIONS"]

@@ -11,6 +11,15 @@ which should stay below ε up to estimation noise.  It is a *sanity check*,
 not a proof — but it catches gross accounting mistakes (e.g. the flawed
 variants of Section 3.1 blow the bound dramatically, which the E1 experiment
 shows in a more targeted way).
+
+The statistical audit is complemented by an *accounting* audit: every trial
+runs under an ambient :class:`~repro.mechanisms.ledger.PrivacyLedger`, so
+each PMW invocation charges its realised Lemma 3.2 budget split into the
+odometer.  The composed spend is then checked against the declared budget
+(``2 · trials`` releases at (ε, δ) each) with
+:meth:`~repro.mechanisms.ledger.PrivacyLedger.assert_within` — a release
+that silently overspends its declared budget fails the experiment outright,
+no sampling noise involved.
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from repro.analysis.reporting import ExperimentTable
 from repro.core.pmw import PMWConfig
 from repro.core.two_table import two_table_release
 from repro.datagen.synthetic import uniform_two_table
+from repro.mechanisms.ledger import PrivacyLedger, use_ledger
+from repro.mechanisms.spec import PrivacySpec
 from repro.queries.workload import Workload
 from repro.relational.neighbors import random_neighbor
 
@@ -79,8 +90,21 @@ def run(
             totals.append(result.synthetic.total_mass())
         return np.array(totals)
 
-    samples_instance = sample_totals(instance)
-    samples_neighbor = sample_totals(neighbor)
+    # Accounting audit: every PMW call inside the releases charges the
+    # ambient ledger, and the composed spend must stay within the declared
+    # budget of 2·trials releases at (ε, δ) each (tiny headroom absorbs the
+    # float rounding of summing the per-release budget splits).
+    releases = 2 * trials
+    budget = PrivacySpec(
+        epsilon * releases * (1.0 + 1e-9),
+        min(delta * releases * (1.0 + 1e-9), 0.5),
+    )
+    ledger = PrivacyLedger()
+    with use_ledger(ledger):
+        samples_instance = sample_totals(instance)
+        samples_neighbor = sample_totals(neighbor)
+    spent = ledger.assert_within(budget)
+    remaining = ledger.remaining(budget)
     estimated = _empirical_epsilon(samples_instance, samples_neighbor, delta, num_bins)
 
     table = ExperimentTable(
@@ -93,10 +117,21 @@ def run(
     table.add_row(["empirical ε estimate", estimated])
     table.add_row(["mean total | I", float(samples_instance.mean())])
     table.add_row(["mean total | I'", float(samples_neighbor.mean())])
+    table.add_row(["ledger charges", len(ledger)])
+    table.add_row(["ledger ε spent (of budget)", spent.epsilon if spent else 0.0])
+    table.add_row(["ledger ε remaining", remaining.epsilon])
     return {
         "table": table,
         "empirical_epsilon": estimated,
         "declared_epsilon": epsilon,
         "declared_delta": delta,
         "trials": trials,
+        "ledger_charges": len(ledger),
+        "spent_epsilon": spent.epsilon if spent else 0.0,
+        "spent_delta": spent.delta if spent else 0.0,
+        "budget_epsilon": budget.epsilon,
+        "budget_delta": budget.delta,
+        "remaining_epsilon": remaining.epsilon,
+        "remaining_delta": remaining.delta,
+        "budget_exhausted": remaining.exhausted,
     }

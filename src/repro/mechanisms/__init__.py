@@ -22,11 +22,23 @@ from repro.mechanisms.composition import (
     group_privacy,
     parallel_composition,
 )
-from repro.mechanisms.ledger import PrivacyLedger
+from repro.mechanisms.ledger import (
+    BudgetExceededError,
+    PrivacyLedger,
+    RemainingBudget,
+    ambient_ledger,
+    set_ambient_ledger,
+    use_ledger,
+)
 
 __all__ = [
+    "BudgetExceededError",
     "PrivacyLedger",
     "PrivacySpec",
+    "RemainingBudget",
+    "ambient_ledger",
+    "set_ambient_ledger",
+    "use_ledger",
     "advanced_composition",
     "basic_composition",
     "exponential_mechanism",

@@ -13,18 +13,61 @@ changes all serialise on an internal lock, so concurrent request handlers
 double-counting entries.  :meth:`PrivacyLedger.subscribe` registers an
 *observer* called once per charge (outside the lock, in charge order as
 observed by each caller) — :func:`repro.telemetry.observe_ledger` uses it to
-drive the privacy-spend counters, and a persistence layer can use it to
-journal charges.
+drive the privacy-spend counters, and
+:class:`repro.telemetry.audit.AuditJournal` uses it to append each charge to
+the hash-chained on-disk audit journal.
+
+Budget enforcement lives here too: :meth:`PrivacyLedger.remaining` reports
+the unspent part of a declared budget (clamped at zero) and
+:meth:`PrivacyLedger.assert_within` raises :class:`BudgetExceededError` the
+moment the composed total exceeds it.
+
+An **ambient ledger** can be installed per context
+(:func:`use_ledger` / :func:`set_ambient_ledger`): mechanisms that know
+their own budget — today the PMW routine's total-count and adaptive-rounds
+charges — record into it without every call chain having to thread a ledger
+argument through.  No ambient ledger is installed by default, so existing
+call sites pay one context-variable read and nothing else.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator, NamedTuple
 
 from repro.mechanisms.composition import basic_composition, parallel_composition
 from repro.mechanisms.spec import PrivacySpec
+
+
+class RemainingBudget(NamedTuple):
+    """The unspent part of a declared budget, clamped at zero.
+
+    A plain pair rather than a :class:`PrivacySpec` because a fully spent
+    budget has zero (or, overspent, negative-before-clamping) epsilon, which
+    a ``PrivacySpec`` by design refuses to represent.
+    """
+
+    epsilon: float
+    delta: float
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether nothing is left to spend on either parameter."""
+        return self.epsilon <= 0.0 and self.delta <= 0.0
+
+
+class BudgetExceededError(RuntimeError):
+    """A ledger's composed total went past its declared budget."""
+
+    def __init__(self, spent: PrivacySpec, budget: PrivacySpec) -> None:
+        self.spent = spent
+        self.budget = budget
+        super().__init__(
+            f"privacy budget exceeded: spent {spent} against declared {budget}"
+        )
 
 
 @dataclass
@@ -104,6 +147,44 @@ class PrivacyLedger:
             sequential.append(parallel_composition(specs))
         return basic_composition(sequential)
 
+    def spent(self) -> PrivacySpec | None:
+        """Like :meth:`total`, but ``None`` (not an error) on an empty ledger."""
+        if len(self) == 0:
+            return None
+        return self.total()
+
+    def remaining(self, budget: PrivacySpec) -> RemainingBudget:
+        """The unspent part of ``budget`` under the ledger's composed total.
+
+        Both coordinates are clamped at zero — an overspent ledger reports
+        ``RemainingBudget(0.0, 0.0)`` rather than a negative budget (use
+        :meth:`assert_within` to make overspending an error).  Thread-safe:
+        the composed total is computed from one consistent snapshot of the
+        entries.
+        """
+        spent = self.spent()
+        if spent is None:
+            return RemainingBudget(budget.epsilon, budget.delta)
+        return RemainingBudget(
+            max(0.0, budget.epsilon - spent.epsilon),
+            max(0.0, budget.delta - spent.delta),
+        )
+
+    def assert_within(self, budget: PrivacySpec) -> PrivacySpec | None:
+        """Raise :class:`BudgetExceededError` when the total exceeds ``budget``.
+
+        The comparison is strict and per-coordinate — going over on either ε
+        or δ alone trips the check.  Returns the composed total (``None`` on
+        an empty ledger, which is trivially within any budget) so callers can
+        assert and report in one call.
+        """
+        spent = self.spent()
+        if spent is not None and (
+            spent.epsilon > budget.epsilon or spent.delta > budget.delta
+        ):
+            raise BudgetExceededError(spent, budget)
+        return spent
+
     def reset(self) -> None:
         with self._lock:
             self.entries.clear()
@@ -111,3 +192,52 @@ class PrivacyLedger:
     def __len__(self) -> int:
         with self._lock:
             return len(self.entries)
+
+
+# ---------------------------------------------------------------------- #
+# the ambient ledger: per-context implicit accounting
+# ---------------------------------------------------------------------- #
+_AMBIENT_LEDGER: ContextVar[PrivacyLedger | None] = ContextVar(
+    "repro_ambient_ledger", default=None
+)
+
+
+def ambient_ledger() -> PrivacyLedger | None:
+    """The ledger installed for the current context, or ``None``.
+
+    Budget-aware code paths (the PMW routine, future service handlers) call
+    this per invocation and charge into whatever ledger the caller installed;
+    with none installed the lookup is one context-variable read.
+    """
+    return _AMBIENT_LEDGER.get()
+
+
+def set_ambient_ledger(ledger: PrivacyLedger | None) -> None:
+    """Install ``ledger`` as the context's ambient ledger (``None`` clears it).
+
+    Prefer the scoped :func:`use_ledger` in library code; this setter exists
+    for process-wide wiring such as the CLI's ``--audit-out`` flag, where the
+    ledger should stay installed for the remainder of the run.
+    """
+    _AMBIENT_LEDGER.set(ledger)
+
+
+@contextmanager
+def use_ledger(ledger: PrivacyLedger) -> Iterator[PrivacyLedger]:
+    """Scope ``ledger`` as the ambient ledger for the enclosed block.
+
+    ::
+
+        ledger = PrivacyLedger()
+        with use_ledger(ledger):
+            release_synthetic_data(...)   # PMW charges land in `ledger`
+        ledger.assert_within(PrivacySpec(1.0, 1e-5))
+
+    Context-variable scoping means concurrent threads/tasks can each install
+    their own ledger without seeing each other's.
+    """
+    token = _AMBIENT_LEDGER.set(ledger)
+    try:
+        yield ledger
+    finally:
+        _AMBIENT_LEDGER.reset(token)

@@ -57,6 +57,7 @@ __all__ = [
     "snapshot",
     "stage_summary",
     "span_dicts",
+    "chrome_trace",
     "export_chrome_trace",
     "merge_snapshot",
     "observe_ledger",
@@ -188,6 +189,17 @@ def span_dicts() -> list[dict]:
     if not _STATE.enabled or _STATE.ring is None:
         return []
     return _STATE.ring.as_dicts()
+
+
+def chrome_trace() -> dict:
+    """The span ring as a Chrome-trace (``traceEvents``) payload.
+
+    An empty-but-valid trace object while telemetry is disabled, so scrape
+    endpoints can serve it unconditionally.
+    """
+    if not _STATE.enabled or _STATE.ring is None:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    return chrome_trace_events(_STATE.ring)
 
 
 def export_chrome_trace(path) -> str:

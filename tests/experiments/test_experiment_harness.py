@@ -30,13 +30,14 @@ from repro.experiments import (
     e16_sharded_evaluation,
     e17_streaming_prefetch,
     e18_domain_partitioned,
+    e20_observability,
 )
 
 
 class TestRegistry:
     def test_all_experiments_registered_and_described(self):
         assert set(EXPERIMENTS) == set(DESCRIPTIONS)
-        assert len(EXPERIMENTS) == 19
+        assert len(EXPERIMENTS) == 20
         for name, runner in EXPERIMENTS.items():
             assert callable(runner), name
 
@@ -235,3 +236,31 @@ class TestIndividualExperiments:
         assert result["selections_match"]
         assert result["histograms_close"], result["pmw_histogram_diff"]
         assert result["slice_roundtrip_ok"]
+
+    def test_e20_observability(self):
+        result = e20_observability.run(
+            n=40,
+            domain_shape={"X": 5, "Y": 5},
+            num_queries=6,
+            pmw_rounds=3,
+            releases=2,
+            overhead_repeats=1,
+            scrape_threads=1,
+            seed=0,
+        )
+        # The audit journal replays to the ledger's exact composed total,
+        # every tamper scenario is rejected with its distinct error kind,
+        # and observability never changes the PMW walk.
+        assert result["journal_matches_ledger"]
+        assert result["journal_records"] >= 3
+        assert result["tamper_detection"] == {
+            "edited": "tampered",
+            "deleted": "gap",
+            "swapped": "reordered",
+            "diverged": "divergence",
+        }
+        assert result["selections_identical"]
+        assert result["scrapes"]["parse_failures"] == 0
+        assert result["scrapes"]["budget_failures"] == 0
+        assert not result["scrapes"]["errors"]
+        assert result["scrapes"]["metrics"] >= 1
