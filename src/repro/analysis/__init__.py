@@ -1,4 +1,11 @@
-"""Closed-form error bounds, the AGM bound, and experiment reporting helpers."""
+"""Closed-form error bounds, the AGM bound, and experiment reporting helpers.
+
+The :mod:`repro.analysis.static` subpackage is a different kind of analysis:
+the DP static-analysis suite (``python -m repro.analysis``) that enforces
+the repo's privacy, determinism, and resource invariants at the AST level.
+It is not imported here — it stays stdlib-only and self-contained so the
+dependency-free CI check can load it before numpy/scipy are installed.
+"""
 
 from repro.analysis.bounds import (
     f_lower,

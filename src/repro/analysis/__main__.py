@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run the DP static-analysis suite."""
+
+from repro.analysis.static.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

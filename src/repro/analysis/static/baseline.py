@@ -1,0 +1,127 @@
+"""The committed baseline of intentionally grandfathered findings.
+
+A baseline entry matches every finding with its ``(code, path)`` pair
+(``path`` is the package-relative *logical* path) and must carry a written
+justification — an entry without one fails loading, so nothing gets
+grandfathered silently.  Entries that no longer match anything are reported
+as stale (``DPA001``): once a defect is fixed, the entry must be deleted or
+it could mask the next regression at the same spot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .findings import STALE_BASELINE, Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or missing a justification."""
+
+
+@dataclasses.dataclass
+class BaselineEntry:
+    code: str
+    path: str
+    justification: str
+    matched: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "justification": self.justification,
+        }
+
+
+@dataclasses.dataclass
+class Baseline:
+    entries: list[BaselineEntry]
+    source: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} must be an object with version={BASELINE_VERSION}"
+            )
+        raw_entries = payload.get("entries")
+        if not isinstance(raw_entries, list):
+            raise BaselineError(f"baseline {path} must carry an 'entries' list")
+        entries = []
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"baseline {path} entry {index} is not an object")
+            code = raw.get("code")
+            logical = raw.get("path")
+            justification = raw.get("justification")
+            if not code or not logical:
+                raise BaselineError(
+                    f"baseline {path} entry {index} needs 'code' and 'path'"
+                )
+            if not isinstance(justification, str) or not justification.strip():
+                raise BaselineError(
+                    f"baseline {path} entry {index} ({code} {logical}) has no "
+                    "written justification — every grandfathered finding must say why"
+                )
+            entries.append(
+                BaselineEntry(code=code, path=logical, justification=justification)
+            )
+        return cls(entries=entries, source=path)
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Filter matched findings; append stale-entry findings."""
+        for entry in self.entries:
+            entry.matched = 0
+        index = {(entry.code, entry.path): entry for entry in self.entries}
+        kept: list[Finding] = []
+        for finding in findings:
+            entry = index.get((finding.code, finding.logical))
+            if entry is not None:
+                entry.matched += 1
+                continue
+            kept.append(finding)
+        for entry in self.entries:
+            if entry.matched == 0:
+                kept.append(
+                    Finding(
+                        code=STALE_BASELINE,
+                        path=entry.path,
+                        logical=entry.path,
+                        line=0,
+                        message=(
+                            f"stale baseline entry for {entry.code}: the finding no "
+                            "longer fires — delete the entry from the baseline"
+                        ),
+                    )
+                )
+        return kept
+
+
+def write_baseline(path: Path | str, findings: list[Finding]) -> int:
+    """Write a baseline skeleton covering ``findings``; returns entry count.
+
+    One entry per distinct ``(code, logical path)`` with a placeholder
+    justification to replace before committing.
+    """
+    seen: dict[tuple[str, str], dict] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.code, finding.logical)
+        if key not in seen:
+            seen[key] = {
+                "code": finding.code,
+                "path": finding.logical,
+                "justification": "TODO: justify this grandfathered finding",
+            }
+    payload = {"version": BASELINE_VERSION, "entries": list(seen.values())}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(seen)

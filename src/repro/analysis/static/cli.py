@@ -1,0 +1,164 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage or
+configuration error (unknown rule code, missing path, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, BaselineError, write_baseline
+from .engine import analyze_paths
+from .findings import ENGINE_CODES, PARSE_ERROR, STALE_BASELINE, UNUSED_SUPPRESSION
+from .output import FORMATS, render
+from .registry import default_rules, registered_rules
+
+DEFAULT_BASELINE_NAME = "dpa-baseline.json"
+
+
+def _default_scan_root() -> Path:
+    # cli.py lives at src/repro/analysis/static/cli.py — parents[2] is the
+    # repro package itself, wherever it is installed.
+    return Path(__file__).resolve().parents[2]
+
+
+def _default_baseline() -> Path | None:
+    candidates = [Path.cwd() / DEFAULT_BASELINE_NAME]
+    try:
+        candidates.append(Path(__file__).resolve().parents[4] / DEFAULT_BASELINE_NAME)
+    except IndexError:
+        pass
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "DP static-analysis suite: privacy, determinism, and resource "
+            "invariants checked at the AST level (one parse per file)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", help="output format"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write current findings as a baseline skeleton and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    rows = [("code", "name", "protects")]
+    for code, cls in sorted(registered_rules().items()):
+        rows.append((code, cls.name, cls.summary))
+    rows.append((UNUSED_SUPPRESSION, "unused-suppression", "engine: stale ignore comments"))
+    rows.append((STALE_BASELINE, "stale-baseline", "engine: baseline entries that no longer match"))
+    rows.append((PARSE_ERROR, "parse-error", "engine: unparseable source files"))
+    widths = [max(len(row[i]) for row in rows) for i in range(2)]
+    return "\n".join(
+        f"{row[0]:<{widths[0]}}  {row[1]:<{widths[1]}}  {row[2]}" for row in rows
+    )
+
+
+def _resolve_rules(spec: str | None):
+    rules = default_rules()
+    if spec is None:
+        return rules
+    wanted = [token.strip().upper() for token in spec.split(",") if token.strip()]
+    known = {rule.code: rule for rule in rules}
+    unknown = [code for code in wanted if code not in known and code not in ENGINE_CODES]
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s) {', '.join(unknown)}; known: "
+            + ", ".join(sorted(known))
+        )
+    selected = [known[code] for code in sorted(set(wanted) & set(known))]
+    if not selected:
+        raise ValueError("no runnable rules selected (engine codes cannot be run)")
+    return selected
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        rules = _resolve_rules(args.rules)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or [_default_scan_root()]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(
+            "error: no such path(s): " + ", ".join(str(path) for path in missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.write_baseline is not None:
+        result = analyze_paths(paths, rules=rules)
+        count = write_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to "
+            f"{args.write_baseline} — replace every TODO justification before "
+            "committing"
+        )
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = args.baseline if args.baseline is not None else _default_baseline()
+        if args.baseline is not None and not baseline_path.is_file():
+            print(f"error: baseline not found: {baseline_path}", file=sys.stderr)
+            return 2
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+
+    result = analyze_paths(paths, rules=rules, baseline=baseline)
+    print(render(result, args.format))
+    return 0 if result.ok else 1

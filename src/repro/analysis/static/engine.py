@@ -1,0 +1,173 @@
+"""The analysis engine: one parse per file, shared across all rules.
+
+Each file is read and ``ast.parse``-d exactly once; every rule that applies
+to the file sees the same tree.  Node-level checks are dispatched out of a
+single ``ast.walk`` by exact node type, so adding a rule costs a dict lookup
+per node, not another traversal.  Suppression comments are honoured per
+line, and a :class:`~.baseline.Baseline` (when given) filters grandfathered
+findings at the end.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import PARSE_ERROR, Finding
+from .registry import Rule, default_rules
+from .suppressions import apply_suppressions, scan_suppressions
+
+
+def logical_path(path: Path, package_root: Path | None = None) -> str:
+    """Path of ``path`` relative to the ``repro`` package root, POSIX style.
+
+    With ``package_root`` given, relative to it; otherwise the components
+    after the last directory named ``repro`` (``src/repro/mechanisms/rng.py``
+    -> ``mechanisms/rng.py``).  Falls back to the bare file name when neither
+    applies, so rules with path scoping still behave predictably on loose
+    fixture files.
+    """
+    resolved = Path(path).resolve()
+    if package_root is not None:
+        try:
+            return resolved.relative_to(Path(package_root).resolve()).as_posix()
+        except ValueError:
+            pass
+    parts = resolved.parts
+    for index in range(len(parts) - 2, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return resolved.name
+
+
+def display_path(path: Path) -> str:
+    """The path as editors / CI annotations should see it."""
+    resolved = Path(path).resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+class FileContext:
+    """Everything the rules need about one source file, parsed once."""
+
+    def __init__(self, path: Path, display: str, logical: str, source: str, tree: ast.Module):
+        self.path = path
+        self.display = display
+        self.logical = logical
+        self.source = source
+        self.tree = tree
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def finding(self, code: str, line: int, message: str) -> Finding:
+        return Finding(
+            code=code, path=self.display, logical=self.logical, line=line, message=message
+        )
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent for every node; built lazily, once per file."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        """Nearest enclosing function definition, or ``None`` at module level."""
+        parents = self.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = parents.get(current)
+        return None
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files and directories into a sorted, de-duplicated file list."""
+    files: dict[Path, None] = {}
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for path in sorted(entry.rglob("*.py")):
+                if "__pycache__" not in path.parts:
+                    files.setdefault(path.resolve(), None)
+        else:
+            files.setdefault(entry.resolve(), None)
+    return list(files)
+
+
+def analyze_file(
+    path: Path, rules: Sequence[Rule], package_root: Path | None = None
+) -> tuple[list[Finding], FileContext | None]:
+    """All (post-suppression) findings for one file."""
+    path = Path(path)
+    display = display_path(path)
+    logical = logical_path(path, package_root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        finding = Finding(
+            code=PARSE_ERROR,
+            path=display,
+            logical=logical,
+            line=error.lineno or 0,
+            message=f"could not parse: {error.msg}",
+        )
+        return [finding], None
+
+    ctx = FileContext(path, display, logical, source, tree)
+    active = [rule for rule in rules if rule.applies(ctx)]
+    findings: list[Finding] = []
+    dispatch: dict[type, list[Rule]] = {}
+    for rule in active:
+        findings.extend(rule.start_module(ctx))
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if dispatch:
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                findings.extend(rule.check_node(node, ctx))
+    for rule in active:
+        findings.extend(rule.finish_module(ctx))
+
+    suppressions = scan_suppressions(source)
+    return apply_suppressions(findings, suppressions, ctx.finding), ctx
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Findings over a scanned file set (already baseline-filtered)."""
+
+    findings: list[Finding]
+    files_scanned: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    package_root: Path | None = None,
+    baseline=None,
+) -> AnalysisResult:
+    """Run ``rules`` (default: every registered rule) over ``paths``."""
+    rule_list = list(default_rules() if rules is None else rules)
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for path in files:
+        file_findings, _ctx = analyze_file(path, rule_list, package_root=package_root)
+        findings.extend(file_findings)
+    if baseline is not None:
+        findings = baseline.apply(findings)
+    findings.sort(key=Finding.sort_key)
+    return AnalysisResult(findings=findings, files_scanned=len(files))

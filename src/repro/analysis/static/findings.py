@@ -1,0 +1,51 @@
+"""Finding records and the engine's reserved diagnostic codes.
+
+Every rule reports defects as :class:`Finding` values — one per violation,
+carrying the rule code, the file, the line, and a human-readable message.
+Codes below ``DPA100`` are reserved for the engine itself (suppression and
+baseline bookkeeping, unparseable sources); shipped rules start at
+``DPA101``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: A suppression comment whose code never matched a finding on its line.
+UNUSED_SUPPRESSION = "DPA000"
+
+#: A baseline entry that no current finding matches (the defect was fixed —
+#: the entry must be removed so it cannot mask a future regression).
+STALE_BASELINE = "DPA001"
+
+#: A source file the engine could not parse.
+PARSE_ERROR = "DPA002"
+
+#: Codes the engine emits itself; rules may not register in this range.
+ENGINE_CODES = (UNUSED_SUPPRESSION, STALE_BASELINE, PARSE_ERROR)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One static-analysis violation.
+
+    ``path`` is the file as scanned (relative to the working directory when
+    possible) — what editors and GitHub annotations want.  ``logical`` is the
+    path relative to the ``repro`` package root (``mechanisms/rng.py``),
+    stable across checkouts — what rule scoping and the baseline key on.
+    """
+
+    code: str
+    path: str
+    logical: str
+    line: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.logical, self.line, self.code)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"

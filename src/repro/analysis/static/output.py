@@ -1,0 +1,60 @@
+"""Render an :class:`~.engine.AnalysisResult` as text, JSON, or GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import AnalysisResult
+
+FORMATS = ("text", "json", "github")
+
+
+def summary_line(result: AnalysisResult) -> str:
+    if result.ok:
+        return f"clean: 0 findings in {result.files_scanned} file(s)"
+    return f"{len(result.findings)} finding(s) in {result.files_scanned} file(s) scanned"
+
+
+def render_text(result: AnalysisResult) -> str:
+    lines = [finding.render() for finding in result.findings]
+    lines.append(summary_line(result))
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    payload = {
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _escape_github(value: str) -> str:
+    # The workflow-command grammar reuses %, CR and LF as delimiters.
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(result: AnalysisResult) -> str:
+    """``::error`` workflow commands — one per finding — plus the summary."""
+    lines = [
+        "::error file={file},line={line},title={title}::{message}".format(
+            file=_escape_github(finding.path),
+            line=max(finding.line, 1),
+            title=_escape_github(finding.code),
+            message=_escape_github(finding.message),
+        )
+        for finding in result.findings
+    ]
+    lines.append(summary_line(result))
+    return "\n".join(lines)
+
+
+def render(result: AnalysisResult, fmt: str) -> str:
+    if fmt == "text":
+        return render_text(result)
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "github":
+        return render_github(result)
+    raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")

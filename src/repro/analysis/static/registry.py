@@ -1,0 +1,87 @@
+"""The rule base class and the registry of shipped rules.
+
+Rules are small visitor fragments: they declare which AST node types they
+want (``node_types``) and the engine dispatches nodes to them out of a
+single shared walk per file — one ``ast.parse`` no matter how many rules
+run.  Registration assigns each rule a stable ``DPAxxx`` code; duplicate
+codes are rejected so two rules can never fight over one suppression.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import ast
+
+    from .engine import FileContext
+    from .findings import Finding
+
+_CODE_PATTERN = re.compile(r"^DPA\d{3}$")
+
+
+class Rule:
+    """Base class for static-analysis rules.
+
+    Subclasses set ``code`` / ``name`` / ``summary`` and implement any of
+    the three hooks.  A single instance is reused across every scanned file,
+    so per-file state must be reset in :meth:`start_module`.
+    """
+
+    #: Stable ``DPAxxx`` identifier, used in suppressions and the baseline.
+    code: str = ""
+    #: Short kebab-case name (``rng-discipline``).
+    name: str = ""
+    #: One line: what invariant the rule protects.
+    summary: str = ""
+    #: Exact AST node classes this rule wants dispatched to ``check_node``.
+    node_types: tuple = ()
+
+    def applies(self, ctx: "FileContext") -> bool:
+        """Whether this rule scans ``ctx`` at all (path-based scoping)."""
+        return True
+
+    def start_module(self, ctx: "FileContext") -> "Iterable[Finding]":
+        """Called once per file before the shared walk; reset state here."""
+        return ()
+
+    def check_node(self, node: "ast.AST", ctx: "FileContext") -> "Iterable[Finding]":
+        """Called for every node whose exact type is in ``node_types``."""
+        return ()
+
+    def finish_module(self, ctx: "FileContext") -> "Iterable[Finding]":
+        """Called once per file after the walk; flush aggregate findings."""
+        return ()
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add ``cls`` to the registry under its code.
+
+    Idempotent for the same class object; a *different* class claiming an
+    already-registered code is an error.
+    """
+    if not _CODE_PATTERN.match(cls.code or ""):
+        raise ValueError(f"rule code must match DPAxxx, got {cls.code!r}")
+    if int(cls.code[3:]) < 100:
+        raise ValueError(f"codes below DPA100 are reserved for the engine: {cls.code}")
+    existing = _REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule code {cls.code}: {existing.__name__} vs {cls.__name__}"
+        )
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    """Copy of the registry: ``code -> rule class``."""
+    return dict(_REGISTRY)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [cls() for _code, cls in sorted(_REGISTRY.items())]

@@ -1,0 +1,79 @@
+"""DPA106: no bare ``except:`` and no blanket-swallowed exceptions.
+
+A bare ``except:`` catches ``KeyboardInterrupt``/``SystemExit``; an
+``except Exception: pass`` (or ``contextlib.suppress(Exception)``) silently
+eats the very failures — a worker that died, a segment that would not
+unlink, a budget charge that never landed — that the rest of the stack is
+built to surface.  Broad handlers are fine when they *do* something
+(re-raise, record, return a fallback); what this rule rejects is the
+combination of a blanket type with an empty body.  Teardown paths that
+really must not raise should narrow to the exceptions they expect
+(``except (OSError, BufferError):``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Rule, register_rule
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(node: ast.AST | None) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(element) for element in node.elts)
+    return False
+
+
+def _body_swallows(body: list[ast.stmt]) -> bool:
+    """Only ``pass`` / bare constants (docstring, ``...``) — nothing handled."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    code = "DPA106"
+    name = "exception-hygiene"
+    summary = "no bare except:, no except Exception: pass swallowing"
+    node_types = (ast.ExceptHandler, ast.Call)
+
+    def check_node(self, node, ctx):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                yield ctx.finding(
+                    self.code,
+                    node.lineno,
+                    "bare except: catches KeyboardInterrupt/SystemExit — name "
+                    "the exceptions this handler expects",
+                )
+            elif _is_broad(node.type) and _body_swallows(node.body):
+                yield ctx.finding(
+                    self.code,
+                    node.lineno,
+                    "except Exception: pass swallows every failure — narrow "
+                    "the exception type or handle the error",
+                )
+            return
+        # contextlib.suppress(Exception) is the same swallow in disguise.
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "suppress" and any(_is_broad(arg) for arg in node.args):
+            yield ctx.finding(
+                self.code,
+                node.lineno,
+                "contextlib.suppress(Exception) swallows every failure — "
+                "suppress only the exceptions this site expects",
+            )

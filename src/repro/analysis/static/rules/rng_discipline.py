@@ -1,0 +1,145 @@
+"""DPA101: randomness enters only through ``mechanisms/rng.py``.
+
+Every experiment replays bitwise from its seed because each generator in
+the process descends from one seeded root via ``resolve_rng`` /
+``spawn_rngs``.  A stray ``np.random.default_rng()`` (or worse, the ambient
+``np.random.*`` / stdlib ``random`` state) forks an unaccounted stream:
+results stop replaying and noise can be drawn that no ledger charged.  This
+rule flags, outside the configured allow-list:
+
+* any call through the ``numpy.random`` module (``np.random.default_rng``,
+  ``np.random.seed``, legacy ambient draws like ``np.random.uniform``),
+  including through aliases (``import numpy.random as nr``);
+* importing generator constructors out of ``numpy.random``
+  (``from numpy.random import default_rng / Generator / RandomState``) and
+  calling them;
+* the stdlib ``random`` module (import or use) — process-global state.
+
+``mechanisms/rng.py`` itself and the experiments' seeded entry points
+(``experiments/``) are exempt by rule config.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Rule, register_rule
+
+#: Constructors that mint new generator streams when imported directly.
+_CONSTRUCTORS = {"default_rng", "Generator", "RandomState", "SeedSequence"}
+
+
+def _dotted_chain(node: ast.AST) -> list[str] | None:
+    """``np.random.default_rng`` -> ``["np", "random", "default_rng"]``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    code = "DPA101"
+    name = "rng-discipline"
+    summary = (
+        "randomness may only enter via mechanisms/rng.py resolve_rng/spawn_rngs"
+    )
+    node_types = (ast.Call, ast.Import, ast.ImportFrom)
+
+    def __init__(
+        self,
+        allowed_files: tuple[str, ...] = ("mechanisms/rng.py",),
+        allowed_prefixes: tuple[str, ...] = ("experiments/",),
+    ):
+        self._allowed_files = allowed_files
+        self._allowed_prefixes = allowed_prefixes
+        self._numpy_aliases: set[str] = set()
+        self._random_module_aliases: set[str] = set()
+        self._constructor_aliases: set[str] = set()
+
+    def applies(self, ctx) -> bool:
+        return ctx.logical not in self._allowed_files and not ctx.logical.startswith(
+            self._allowed_prefixes
+        )
+
+    def start_module(self, ctx):
+        self._numpy_aliases = {"np", "numpy"}
+        self._random_module_aliases = set()
+        self._constructor_aliases = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.partition(".")[0]
+                    if alias.name == "numpy":
+                        self._numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random" and alias.asname:
+                        self._random_module_aliases.add(alias.asname)
+                    elif alias.name == "random":
+                        self._random_module_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        self._random_module_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "numpy.random",
+                "random",
+            ):
+                for alias in node.names:
+                    if node.module == "random" or alias.name in _CONSTRUCTORS:
+                        self._constructor_aliases.add(alias.asname or alias.name)
+        return ()
+
+    def check_node(self, node, ctx):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self._finding(
+                        ctx, node, "the stdlib random module is process-global state"
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield self._finding(
+                    ctx, node, "the stdlib random module is process-global state"
+                )
+            elif node.level == 0 and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in _CONSTRUCTORS:
+                        yield self._finding(
+                            ctx,
+                            node,
+                            f"importing numpy.random.{alias.name} constructs "
+                            "generators outside the seed tree",
+                        )
+            return
+        # ast.Call
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self._constructor_aliases:
+                yield self._finding(
+                    ctx,
+                    node,
+                    f"{func.id}(...) was imported from a banned randomness module",
+                )
+            return
+        chain = _dotted_chain(func)
+        if chain is None:
+            return
+        if len(chain) >= 3 and chain[0] in self._numpy_aliases and chain[1] == "random":
+            yield self._finding(ctx, node, f"call through {'.'.join(chain)}")
+        elif len(chain) >= 2 and chain[0] in self._random_module_aliases:
+            yield self._finding(ctx, node, f"call through {'.'.join(chain)}")
+
+    def _finding(self, ctx, node, detail):
+        return ctx.finding(
+            self.code,
+            node.lineno,
+            f"{detail} — route randomness through "
+            "repro.mechanisms.rng.resolve_rng/spawn_rngs so every stream "
+            "descends from the run's seed",
+        )

@@ -1,0 +1,103 @@
+"""DPA105: every created shared-memory segment has a cleanup path.
+
+A ``SharedMemory(create=True)`` whose creating function can exit without
+reaching ``close()``/``unlink()`` leaks a ``/dev/shm`` segment — 8·|D| bytes
+that outlive the process and fail the suite's leak sentinel only after the
+damage is done.  The rule requires the *enclosing function* to pair the
+creation with either
+
+* ``close``/``unlink`` calls inside a ``try``'s ``finally`` block or an
+  exception handler (the mid-start cleanup pattern), or
+* a registered finalizer (``weakref.finalize`` / ``multiprocessing.util.Finalize``)
+  that owns teardown for the happy path.
+
+Attaching to an existing segment (``SharedMemory(name=...)``) is exempt —
+the creator owns the lifecycle.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Rule, register_rule
+
+_FINALIZER_NAMES = {"finalize", "Finalize"}
+_CLEANUP_ATTRS = {"close", "unlink"}
+
+
+def _is_shm_create(node: ast.Call) -> bool:
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    if name != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    if len(node.args) >= 2:
+        value = node.args[1]
+        return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _has_finalizer(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _FINALIZER_NAMES:
+            return True
+    return False
+
+
+def _has_cleanup_try(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        regions = list(node.finalbody)
+        for handler in node.handlers:
+            regions.extend(handler.body)
+        for stmt in regions:
+            for inner in ast.walk(stmt):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in _CLEANUP_ATTRS
+                ):
+                    return True
+    return False
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    code = "DPA105"
+    name = "shm-lifecycle"
+    summary = "SharedMemory(create=True) pairs with close/unlink or a finalizer"
+    node_types = (ast.Call,)
+
+    def check_node(self, node, ctx):
+        if not _is_shm_create(node):
+            return
+        function = ctx.enclosing_function(node)
+        if function is None:
+            yield ctx.finding(
+                self.code,
+                node.lineno,
+                "SharedMemory(create=True) at module level — create segments "
+                "inside a function that owns their cleanup",
+            )
+            return
+        if _has_finalizer(function) or _has_cleanup_try(function):
+            return
+        yield ctx.finding(
+            self.code,
+            node.lineno,
+            "SharedMemory(create=True) without close()/unlink() in a "
+            "try/finally (or exception handler) or a registered finalizer in "
+            "the same function — a failure here leaks the /dev/shm segment",
+        )

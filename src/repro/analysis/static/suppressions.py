@@ -1,0 +1,71 @@
+"""Inline suppression comments.
+
+A finding can be silenced on its own line with a comment of the form
+``dpa: ignore[DPA101]`` (after a ``#``), listing one or more comma-separated
+rule codes.  Suppressions are strict: a code that silences nothing on its
+line is itself reported (``DPA000``), so stale ignores cannot linger after
+the underlying defect is fixed.  Only tokens shaped like rule codes are
+honoured — anything else in the brackets is ignored as prose.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from .findings import UNUSED_SUPPRESSION, Finding
+
+_COMMENT = re.compile(r"#\s*dpa:\s*ignore\[([^\]]*)\]")
+_CODE = re.compile(r"^DPA\d{3}$")
+
+
+@dataclasses.dataclass
+class Suppression:
+    """Codes suppressed on one source line, with usage tracking."""
+
+    line: int
+    codes: set
+    used: set = dataclasses.field(default_factory=set)
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number -> :class:`Suppression` for every ignore comment."""
+    table: dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _COMMENT.search(text)
+        if match is None:
+            continue
+        codes = {
+            token.strip()
+            for token in match.group(1).split(",")
+            if _CODE.match(token.strip())
+        }
+        if codes:
+            table[lineno] = Suppression(line=lineno, codes=codes)
+    return table
+
+
+def apply_suppressions(findings, suppressions, make_finding) -> list[Finding]:
+    """Drop suppressed findings; report suppressions that silenced nothing.
+
+    ``make_finding(code, line, message)`` builds a finding for the current
+    file (the engine passes its context helper).
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and finding.code in suppression.codes:
+            suppression.used.add(finding.code)
+            continue
+        kept.append(finding)
+    for suppression in suppressions.values():
+        for code in sorted(suppression.codes - suppression.used):
+            kept.append(
+                make_finding(
+                    UNUSED_SUPPRESSION,
+                    suppression.line,
+                    f"unused suppression for {code}: no such finding on this "
+                    "line — remove the ignore comment",
+                )
+            )
+    return kept

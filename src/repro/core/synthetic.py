@@ -14,6 +14,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.mechanisms.rng import resolve_rng
 from repro.mechanisms.spec import PrivacySpec
 from repro.queries.linear import ProductQuery
 from repro.queries.workload import Workload
@@ -162,7 +163,7 @@ class SyntheticDataset:
         Post-processing only; the result is an integer array over the joint
         domain whose expectation equals the fractional histogram.
         """
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = resolve_rng(rng)
         floor = np.floor(self.histogram)
         remainder = self.histogram - floor
         return (floor + (generator.uniform(size=self.histogram.shape) < remainder)).astype(np.int64)

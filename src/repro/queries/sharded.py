@@ -135,7 +135,9 @@ def _init_worker(
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
-        except Exception:
+        except (ImportError, AttributeError, OSError):
+            # No tracker on this platform, or its pipe is already gone —
+            # either way the parent still owns (and will unlink) the segment.
             pass
         views.append(np.ndarray((length,), dtype=np.float64, buffer=shm.buf))
         mappings.append(shm)  # keep the mapping alive for the worker's lifetime
@@ -240,25 +242,29 @@ def _shutdown(
     """
     try:
         executor.shutdown(wait=True, cancel_futures=True)
-    except Exception:
+    except (OSError, RuntimeError):
+        # BrokenProcessPool (a RuntimeError) or dead pipes: the workers are
+        # already gone, which is all shutdown was for.
         pass
     if telemetry_queue is not None:
         drain_flush_queue(telemetry_queue, label="worker")
         try:
             telemetry_queue.close()
-        except Exception:
+        except OSError:
             pass
     _WORKER_STATES.pop(key, None)
     for shm in shms:
         try:
             shm.close()
-        except Exception:
+        except (BufferError, OSError):
+            # A still-exported view blocks the mmap close; unlink below
+            # still removes the segment from /dev/shm.
             pass
         try:
             # Unlink independently of close(): a still-exported buffer view
             # must not leave the segment behind in /dev/shm.
             shm.unlink()
-        except Exception:
+        except OSError:
             pass
 
 
@@ -468,11 +474,11 @@ class ShardedBackend(SparseBackend):
             view = None  # drop the buffer export before closing the mapping
             try:
                 shm.close()
-            except Exception:
+            except (BufferError, OSError):
                 pass
             try:
                 shm.unlink()
-            except Exception:
+            except OSError:
                 pass
             raise
         self._executor = executor
@@ -822,11 +828,11 @@ class DomainShardedBackend(ShardedBackend):
             for shm in shms:
                 try:
                     shm.close()
-                except Exception:
+                except (BufferError, OSError):
                     pass
                 try:
                     shm.unlink()
-                except Exception:
+                except OSError:
                     pass
             raise
         self._executor = executor

@@ -70,15 +70,17 @@ def init_worker_telemetry(enabled: bool, flush_queue, shm_bytes: int = 0) -> Non
 def flush_worker_telemetry(flush_queue) -> None:
     """Push this worker's ``(pid, metrics snapshot)`` onto the flush queue.
 
-    Exceptions are swallowed: the flush runs during interpreter teardown,
-    where a closed pipe must not turn a clean worker exit into a crash.
+    Pipe/queue errors are swallowed: the flush runs during interpreter
+    teardown, where a closed pipe must not turn a clean worker exit into a
+    crash.  Anything else propagates to multiprocessing's finalizer runner,
+    which prints it without changing the exit.
     """
     from repro import telemetry
 
     try:
         if telemetry.is_enabled():
             flush_queue.put((os.getpid(), telemetry.registry().snapshot()))
-    except Exception:
+    except (OSError, ValueError):
         pass
 
 
@@ -88,8 +90,9 @@ def drain_flush_queue(flush_queue, label: str = "worker") -> int:
     Call *after* the pool has shut down (``shutdown(wait=True)`` joins the
     workers, so their exit-time flushes have happened).  Each snapshot is
     merged with a ``<label>=<pid>`` label.  Returns the number of snapshots
-    merged.  Exceptions are swallowed for the same reason as in the flush:
-    this also runs from ``weakref.finalize`` during interpreter exit.
+    merged.  Queue/pipe errors are swallowed for the same reason as in the
+    flush: this also runs from ``weakref.finalize`` during interpreter exit,
+    when the queue's pipe may already be torn down.
     """
     from repro import telemetry
 
@@ -100,6 +103,6 @@ def drain_flush_queue(flush_queue, label: str = "worker") -> int:
             pid, snapshot = flush_queue.get()
             registry.merge(snapshot, labels={label: str(pid)})
             merged += 1
-    except Exception:
+    except (OSError, EOFError, ValueError):
         pass
     return merged

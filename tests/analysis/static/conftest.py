@@ -1,0 +1,35 @@
+"""Fixture helpers for the static-analysis framework tests."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis.static import analyze_paths
+
+
+@pytest.fixture
+def scan(tmp_path):
+    """Write fixture files under a fake ``repro`` package root and scan them.
+
+    Usage::
+
+        findings = scan({"core/foo.py": "..."}, rules=[SomeRule()])
+
+    Paths are package-relative (``mechanisms/rng.py``), matching how the
+    rules scope themselves in the real tree.
+    """
+
+    def _scan(files: dict, rules=None, baseline=None):
+        root = tmp_path / "repro"
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(dedent(source))
+        result = analyze_paths(
+            [root], rules=rules, package_root=root, baseline=baseline
+        )
+        return result
+
+    return _scan

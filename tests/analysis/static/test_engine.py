@@ -1,0 +1,153 @@
+"""Engine behaviour: one parse per file, suppressions, ordering, parse errors."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.static import Rule, analyze_paths
+from repro.analysis.static.rules import (
+    ExceptionHygieneRule,
+    NoiseLocalityRule,
+    SessionEncapsulationRule,
+)
+
+
+def test_one_parse_shared_across_rules(scan, monkeypatch):
+    parses = []
+    real_parse = ast.parse
+
+    def counting_parse(source, *args, **kwargs):
+        parses.append(kwargs.get("filename") or (args[0] if args else None))
+        return real_parse(source, *args, **kwargs)
+
+    monkeypatch.setattr(ast, "parse", counting_parse)
+    scan(
+        {"core/foo.py": "def f(session, rng):\n    return session._array, rng.laplace(0.0, 1.0)\n"},
+        rules=[SessionEncapsulationRule(), NoiseLocalityRule(), ExceptionHygieneRule()],
+    )
+    assert len(parses) == 1
+
+
+def test_rule_hooks_run_per_file(scan):
+    calls = []
+
+    class Probe(Rule):
+        code = "DPA199"
+        name = "probe"
+        summary = "test probe"
+        node_types = (ast.Name,)
+
+        def start_module(self, ctx):
+            calls.append(("start", ctx.logical))
+            return ()
+
+        def check_node(self, node, ctx):
+            calls.append(("node", node.id))
+            return ()
+
+        def finish_module(self, ctx):
+            calls.append(("finish", ctx.logical))
+            return ()
+
+    scan({"core/a.py": "x = 1\n", "core/b.py": "y = x\n"}, rules=[Probe()])
+    assert calls == [
+        ("start", "core/a.py"),
+        ("node", "x"),
+        ("finish", "core/a.py"),
+        ("start", "core/b.py"),
+        ("node", "y"),
+        ("node", "x"),
+        ("finish", "core/b.py"),
+    ]
+
+
+def test_findings_sorted_by_path_line_code(scan):
+    result = scan(
+        {
+            "queries/z.py": "try:\n    pass\nexcept Exception:\n    pass\n",
+            "core/a.py": (
+                "def f(session, rng):\n"
+                "    x = rng.laplace(0.0, 1.0)\n"
+                "    return session._array, x\n"
+            ),
+        },
+        rules=[SessionEncapsulationRule(), NoiseLocalityRule(), ExceptionHygieneRule()],
+    )
+    keys = [(f.logical, f.line, f.code) for f in result.findings]
+    assert keys == sorted(keys)
+    assert [f.code for f in result.findings] == ["DPA102", "DPA103", "DPA106"]
+
+
+def test_suppression_silences_exactly_its_code(scan):
+    result = scan(
+        {
+            "core/foo.py": """\
+            def f(session, rng):
+                x = rng.laplace(0.0, 1.0)  # dpa: ignore[DPA102]
+                return session._array, x  # dpa: ignore[DPA103]
+            """
+        },
+        rules=[SessionEncapsulationRule(), NoiseLocalityRule()],
+    )
+    assert result.ok
+
+
+def test_suppression_for_wrong_code_leaves_finding_and_warns(scan):
+    result = scan(
+        {
+            "core/foo.py": (
+                "def f(rng):\n"
+                "    return rng.laplace(0.0, 1.0)  # dpa: ignore[DPA103]\n"
+            )
+        },
+        rules=[SessionEncapsulationRule(), NoiseLocalityRule()],
+    )
+    # The DPA102 finding survives and the DPA103 ignore is reported unused.
+    assert sorted(f.code for f in result.findings) == ["DPA000", "DPA102"]
+
+
+def test_unused_suppression_is_reported(scan):
+    result = scan(
+        {"core/foo.py": "x = 1  # dpa: ignore[DPA102]\n"},
+        rules=[NoiseLocalityRule()],
+    )
+    assert [f.code for f in result.findings] == ["DPA000"]
+    assert "DPA102" in result.findings[0].message
+
+
+def test_multi_code_suppression(scan):
+    result = scan(
+        {
+            "core/foo.py": (
+                "def f(session, rng):\n"
+                "    return session._array, rng.laplace(0.0, 1.0)"
+                "  # dpa: ignore[DPA102, DPA103]\n"
+            )
+        },
+        rules=[SessionEncapsulationRule(), NoiseLocalityRule()],
+    )
+    assert result.ok
+
+
+def test_non_code_tokens_in_brackets_are_prose(scan):
+    # Docstrings that *describe* the syntax must not register suppressions.
+    result = scan(
+        {"core/foo.py": 'x = 1  # dpa: ignore[CODE]\n'},
+        rules=[NoiseLocalityRule()],
+    )
+    assert result.ok
+
+
+def test_parse_error_becomes_finding(scan):
+    result = scan({"core/broken.py": "def f(:\n"}, rules=[NoiseLocalityRule()])
+    assert [f.code for f in result.findings] == ["DPA002"]
+
+
+def test_files_scanned_counts_and_dedup(tmp_path):
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    file = root / "core" / "a.py"
+    file.write_text("x = 1\n")
+    result = analyze_paths([root, file], rules=[NoiseLocalityRule()], package_root=root)
+    assert result.files_scanned == 1
+    assert result.ok

@@ -1,0 +1,55 @@
+"""Tier-1 gate: the full analyzer over the real ``src/repro`` tree.
+
+Any non-baselined finding fails the suite — the same check CI runs as
+``python -m repro.analysis --format github`` — and the whole pass must stay
+fast enough to run on every commit.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.static import Baseline, analyze_paths
+
+_REPO = Path(__file__).resolve().parents[3]
+_SRC = _REPO / "src" / "repro"
+_BASELINE = _REPO / "dpa-baseline.json"
+
+
+def _run():
+    baseline = Baseline.load(_BASELINE) if _BASELINE.is_file() else None
+    return analyze_paths([_SRC], baseline=baseline)
+
+
+def test_src_tree_is_clean_under_all_rules():
+    result = _run()
+    assert result.ok, "static analysis found non-baselined findings:\n" + "\n".join(
+        finding.render() for finding in result.findings
+    )
+
+
+def test_scan_covers_the_whole_package():
+    result = _run()
+    assert result.files_scanned > 80, (
+        f"only {result.files_scanned} files scanned — path wiring broken?"
+    )
+
+
+def test_full_scan_is_fast():
+    start = time.perf_counter()
+    _run()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"full static-analysis pass took {elapsed:.1f}s (budget 5s)"
+
+
+def test_committed_baseline_is_empty_or_justified():
+    if not _BASELINE.is_file():
+        return
+    baseline = Baseline.load(_BASELINE)  # raises if any entry lacks justification
+    for entry in baseline.entries:
+        assert entry.justification.strip()
+        assert not entry.justification.startswith("TODO"), (
+            f"baseline entry {entry.code} {entry.path} still carries the "
+            "placeholder justification"
+        )

@@ -1,60 +1,57 @@
 """Static guard: histogram storage is private to the queries package.
 
-The PR that introduced the session op protocol removed every direct
-``HistogramSession.array`` access outside ``src/repro/queries/`` — PMW and
-the release pipeline talk to sessions purely through the ops
-(``answers`` / ``scale_support`` / ``scale`` / ``fill`` / ``total`` /
-``accumulate`` / ``averaged_slices`` / ``close``), which is what lets a
-backend keep its histogram in per-slice shared-memory segments instead of
-one ``|D|``-cell array.  This test keeps it that way: it AST-scans every
-module outside the queries package and fails on any ``.array`` / ``._array``
-attribute access that could re-couple callers to the dense representation.
-
-``np.array(...)`` / ``numpy.array(...)`` constructor calls are exempt — the
-guard targets attribute reads on session-like objects, not the numpy API.
+Thin wrapper over rule **DPA103** (session-encapsulation) of the static
+analysis suite — the single implementation lives in
+``repro.analysis.static.rules.session_encapsulation`` and also runs
+repo-wide via ``python -m repro.analysis``.  The invariant: every module
+outside ``src/repro/queries/`` talks to histogram sessions purely through
+the ops (``answers`` / ``scale_support`` / ``scale`` / ``fill`` / ``total``
+/ ``accumulate`` / ``averaged_slices`` / ``close``); any ``.array`` /
+``._array`` attribute access would re-couple callers to the dense
+representation.  ``np.array(...)`` constructor calls are exempt.
 """
 
-import ast
 from pathlib import Path
 
+from repro.analysis.static import analyze_paths
+from repro.analysis.static.rules import SessionEncapsulationRule
+
 _SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
-_QUERIES = _SRC / "queries"
-
-#: Attribute names that would re-expose a session's backing storage.
-_FORBIDDEN = {"array", "_array"}
-
-#: Names whose ``.array`` attribute is the numpy constructor, not storage.
-_NUMPY_ALIASES = {"np", "numpy"}
 
 
-def _modules_outside_queries():
-    for path in sorted(_SRC.rglob("*.py")):
-        if _QUERIES in path.parents:
-            continue
-        yield path
-
-
-def _violations(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(), filename=str(path))
-    found = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Attribute) or node.attr not in _FORBIDDEN:
-            continue
-        if isinstance(node.value, ast.Name) and node.value.id in _NUMPY_ALIASES:
-            continue
-        found.append(f"{path}:{node.lineno}: .{node.attr} attribute access")
-    return found
+def _scan(root: Path, package_root: Path):
+    return analyze_paths([root], rules=[SessionEncapsulationRule()], package_root=package_root)
 
 
 def test_source_tree_has_modules_to_scan():
-    modules = list(_modules_outside_queries())
-    assert len(modules) > 10, "guard scanned suspiciously few modules"
+    result = _scan(_SRC, _SRC)
+    assert result.files_scanned > 10, "guard scanned suspiciously few modules"
 
 
 def test_no_histogram_array_access_outside_queries_package():
-    violations = [v for path in _modules_outside_queries() for v in _violations(path)]
-    assert not violations, (
+    result = _scan(_SRC, _SRC)
+    assert result.ok, (
         "histogram backing arrays are private to src/repro/queries/ — use the "
         "HistogramSession ops (answers/scale_support/scale/fill/total/"
-        "accumulate/averaged_slices) instead:\n" + "\n".join(violations)
+        "accumulate/averaged_slices) instead:\n"
+        + "\n".join(finding.render() for finding in result.findings)
     )
+
+
+def test_rule_still_fires_on_seeded_violation(tmp_path):
+    # The wrapper must lose no coverage vs the old ad-hoc AST guard: a
+    # planted violation outside queries/ fails, the same code inside
+    # queries/ (and a numpy constructor call) stays quiet.
+    root = tmp_path / "repro"
+    bad = root / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def leak(session):\n    return session._array[0]\n")
+    ok = root / "queries" / "ok.py"
+    ok.parent.mkdir(parents=True)
+    ok.write_text("def fine(session):\n    return session._array[0]\n")
+    numpy_ok = root / "core" / "numpy_ok.py"
+    numpy_ok.write_text("import numpy as np\n\nx = np.array([1.0])\n")
+
+    result = _scan(root, root)
+    assert [finding.code for finding in result.findings] == ["DPA103"]
+    assert result.findings[0].logical == "core/bad.py"

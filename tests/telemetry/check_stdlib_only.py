@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Static check: ``src/repro/telemetry/`` imports the standard library only.
+"""Static check: the stdlib-only packages import the standard library only.
 
-The telemetry package is the one layer that must load in every context —
-pool workers, CI containers, minimal installs — so it may not import numpy,
-scipy, or anything else third-party.  This script AST-walks every module in
-the package and reports any import whose top-level name is neither a
-standard-library module nor the package itself (relative imports and
-``repro.telemetry`` absolute imports are the only non-stdlib names allowed).
+Thin wrapper over rule **DPA104** (stdlib-only) of the static-analysis
+suite — the single implementation lives in
+``repro.analysis.static.rules.stdlib_only``.  It covers both packages that
+must load in every context: ``repro.telemetry`` (pool workers, minimal
+installs) and ``repro.analysis.static`` itself (this very check runs it
+before anything is pip-installed).
 
-Runs standalone (the CI job calls it before installing any dependencies)::
+Because the CI job calls this script *before installing dependencies*, it
+must not import ``repro`` (whose ``__init__`` pulls numpy).  The framework
+package is self-contained — stdlib and relative imports only, an invariant
+DPA104 enforces on it — so it is bootstrapped here by file path under a
+private module name, bypassing the package ``__init__`` chain entirely.
+
+Runs standalone::
 
     python tests/telemetry/check_stdlib_only.py
 
@@ -18,64 +24,73 @@ and doubles as the implementation behind the tier-1 test
 
 from __future__ import annotations
 
-import ast
+import importlib.util
 import sys
 from pathlib import Path
 
-TELEMETRY_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "telemetry"
+_REPO = Path(__file__).resolve().parents[2]
+_PACKAGE_ROOT = _REPO / "src" / "repro"
+_STATIC_DIR = _PACKAGE_ROOT / "analysis" / "static"
 
-#: Import prefixes that are legal besides the standard library: the package
-#: importing from itself (``repro.telemetry.metrics``) and, lazily inside
-#: functions only, the facade module (``from repro import telemetry``).
-_ALLOWED_PREFIXES = ("repro.telemetry",)
-_ALLOWED_EXACT = {"repro"}
+#: Kept for wrapper compatibility: the primary covered package.
+TELEMETRY_DIR = _PACKAGE_ROOT / "telemetry"
+
+_ALIAS = "_repro_dpa_static"
 
 
-def _imported_names(tree: ast.AST):
-    """Yield ``(lineno, top_level_name, full_name)`` for every import."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                yield node.lineno, alias.name.partition(".")[0], alias.name
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:  # relative import — inside the package by definition
-                continue
-            module = node.module or ""
-            if module in _ALLOWED_EXACT:
-                # ``from repro import X`` is only legal for the facade itself.
-                for alias in node.names:
-                    full = f"{module}.{alias.name}"
-                    yield node.lineno, module, full
-            else:
-                yield node.lineno, module.partition(".")[0], module
+def load_static_framework():
+    """Import ``repro.analysis.static`` by path, dependency-free.
+
+    ``submodule_search_locations`` makes the alias a real package, so the
+    framework's relative imports resolve without ever touching
+    ``repro/__init__.py`` (which imports numpy).
+    """
+    if _ALIAS in sys.modules:
+        return sys.modules[_ALIAS]
+    spec = importlib.util.spec_from_file_location(
+        _ALIAS,
+        _STATIC_DIR / "__init__.py",
+        submodule_search_locations=[str(_STATIC_DIR)],
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[_ALIAS] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(_ALIAS, None)
+        raise
+    return module
+
+
+def analysis_result():
+    """DPA104 over the whole package (only covered dirs produce findings)."""
+    static = load_static_framework()
+    return static.analyze_paths(
+        [_PACKAGE_ROOT],
+        rules=[static.rules.StdlibOnlyRule()],
+        package_root=_PACKAGE_ROOT,
+    )
 
 
 def violations() -> list[str]:
-    """Every non-stdlib import in the telemetry package, as ``file:line`` strings."""
-    stdlib = sys.stdlib_module_names
-    found: list[str] = []
-    for path in sorted(TELEMETRY_DIR.glob("*.py")):
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        for lineno, top, full in _imported_names(tree):
-            if top in stdlib:
-                continue
-            if full in _ALLOWED_EXACT or full.startswith(_ALLOWED_PREFIXES):
-                continue
-            found.append(f"{path.name}:{lineno}: non-stdlib import '{full}'")
-    return found
+    """Every non-stdlib import, as ``path:line: message`` strings."""
+    return [finding.render() for finding in analysis_result().findings]
 
 
 def main() -> int:
-    if not TELEMETRY_DIR.is_dir():
-        print(f"missing package directory: {TELEMETRY_DIR}", file=sys.stderr)
+    if not TELEMETRY_DIR.is_dir() or not _STATIC_DIR.is_dir():
+        print(
+            f"missing package directory: {TELEMETRY_DIR} or {_STATIC_DIR}",
+            file=sys.stderr,
+        )
         return 2
     found = violations()
     for line in found:
         print(line, file=sys.stderr)
     if found:
-        print(f"{len(found)} non-stdlib import(s) in repro.telemetry", file=sys.stderr)
+        print(f"{len(found)} non-stdlib import(s) (DPA104)", file=sys.stderr)
         return 1
-    print("repro.telemetry imports stdlib only")
+    print("stdlib-only packages are clean: repro.telemetry, repro.analysis.static")
     return 0
 
 
